@@ -1,0 +1,34 @@
+"""Figure 10: floating-point efficiency (fraction of theoretical peak).
+
+Paper: best 1.17% of peak (64x64x512 on 2 CGs), ~1.0% at 128 CGs on the
+largest problem, and "a clear trend that better FP efficiency is obtained
+with larger problems".
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig10, fig10_data
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_floating_point_efficiency(benchmark, publish):
+    data = run_once(benchmark, fig10_data)
+    publish("fig10", fig10())
+
+    best = max(v for series in data.values() for v in series.values())
+    # paper's best is 1.17% of peak
+    assert 0.009 <= best <= 0.016
+
+    # larger problems are more efficient at every shared CG count
+    problems = list(data)
+    for a, b in zip(problems, problems[1:]):
+        shared = set(data[a]) & set(data[b])
+        for cgs in shared:
+            assert data[b][cgs] >= data[a][cgs] * 0.98, (a, b, cgs)
+
+    # efficiency declines as CGs grow (strong-scaling overheads)
+    for pname, series in data.items():
+        cgs = sorted(series)
+        vals = [series[c] for c in cgs]
+        assert all(x >= y * 0.98 for x, y in zip(vals, vals[1:])), pname

@@ -1,0 +1,37 @@
+"""Figure 5: wall time per step, strong-scaling all problems x variants.
+
+Paper shape: every curve falls with CG count (good strong scalability on
+all problem sizes, both schedulers), vectorized variants roughly halve
+the compute, async at or below sync.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig5, fig5_data
+from repro.harness.problems import PROBLEMS
+from repro.harness.variants import ACCELERATED
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_strong_scaling_walltime(benchmark, publish):
+    data = run_once(benchmark, fig5_data)
+    publish("fig5", fig5())
+
+    for p in PROBLEMS:
+        for vname in ACCELERATED:
+            series = data[p.name][vname]
+            cgs = sorted(series)
+            times = [series[c] for c in cgs]
+            # monotone decrease: more CGs never slower
+            assert all(t1 > t2 for t1, t2 in zip(times, times[1:])), (p.name, vname)
+        # async never slower than sync at any point
+        for c in sorted(data[p.name]["acc.sync"]):
+            assert data[p.name]["acc.async"][c] <= data[p.name]["acc.sync"][c] * 1.001
+            assert (
+                data[p.name]["acc_simd.async"][c]
+                <= data[p.name]["acc_simd.sync"][c] * 1.001
+            )
+        # vectorization helps everywhere
+        for c in sorted(data[p.name]["acc.async"]):
+            assert data[p.name]["acc_simd.async"][c] < data[p.name]["acc.async"][c]

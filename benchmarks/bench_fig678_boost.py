@@ -1,0 +1,53 @@
+"""Figures 6-8: the optimization ladder (host -> offload -> SIMD).
+
+Paper: offload boosts 2.7-6.0x, vectorization another 1.3-2.2x, total
+3.6-13.3x; larger patches gain more from both steps.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig678, fig678_data
+
+
+@pytest.mark.benchmark(group="fig678")
+def test_fig678_optimization_boost(benchmark, publish):
+    data = run_once(benchmark, fig678_data)
+    publish("fig678", fig678())
+
+    def flat(problem_key, variant):
+        return list(data[problem_key]["boost"][variant].values())
+
+    offload = (
+        flat("fig6_small", "acc.async")
+        + flat("fig7_medium", "acc.async")
+        + flat("fig8_large", "acc.async")
+    )
+    total = (
+        flat("fig6_small", "acc_simd.async")
+        + flat("fig7_medium", "acc_simd.async")
+        + flat("fig8_large", "acc_simd.async")
+    )
+
+    # paper: offload 2.7-6.0x (we allow a modestly wider band)
+    assert 2.0 <= min(offload) and max(offload) <= 7.5
+    # paper: total 3.6-13.3x
+    assert 2.5 <= min(total) and max(total) <= 15.0
+
+    # SIMD's extra boost within the paper's 1.3-2.2x band everywhere
+    for key in ("fig6_small", "fig7_medium", "fig8_large"):
+        acc = data[key]["boost"]["acc.async"]
+        simd = data[key]["boost"]["acc_simd.async"]
+        for cgs in acc:
+            extra = simd[cgs] / acc[cgs]
+            assert 1.15 <= extra <= 2.4, (key, cgs, extra)
+
+    # larger patches gain more (compare at the shared 8-CG point)
+    assert (
+        data["fig6_small"]["boost"]["acc.async"][8]
+        < data["fig8_large"]["boost"]["acc.async"][8]
+    )
+    assert (
+        data["fig6_small"]["boost"]["acc_simd.async"][8]
+        < data["fig8_large"]["boost"]["acc_simd.async"][8]
+    )

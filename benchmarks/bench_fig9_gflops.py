@@ -1,0 +1,30 @@
+"""Figure 9: achieved floating-point performance (Gflop/s).
+
+Paper: the Burgers simulation reaches 974.5 Gflop/s with 128 CGs
+(acc_simd.async); performance grows with CG count and problem size.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig9, fig9_data
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_floating_point_performance(benchmark, publish):
+    data = run_once(benchmark, fig9_data)
+    publish("fig9", fig9())
+
+    # headline: ~1 Tflop/s at 128 CGs on the largest problem (paper 974.5)
+    top = data["128x128x512"][128]
+    assert 700 <= top <= 1200
+
+    # performance grows with CGs for every problem
+    for pname, series in data.items():
+        cgs = sorted(series)
+        vals = [series[c] for c in cgs]
+        assert vals == sorted(vals), pname
+
+    # and with problem size at a fixed CG count
+    at_128 = [series[128] for series in data.values()]
+    assert at_128 == sorted(at_128)

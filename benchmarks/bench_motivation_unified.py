@@ -1,0 +1,73 @@
+"""The paper's motivation, quantified (Sec. II "Challenges").
+
+Uintah's Unified Scheduler needs many host threads to overlap
+communication with computation; SW26010 offers one MPE per core-group.
+This bench compares the Unified Scheduler at 1 and 16 host threads with
+the paper's Sunway-specific schedulers at paper scale — the measurable
+reason the port required "a new design".
+"""
+
+import functools
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.burgers.component import BurgersProblem
+from repro.core.controller import SimulationController
+from repro.core.schedulers.unified import UnifiedHostScheduler
+from repro.harness import calibration
+from repro.harness.problems import problem_by_name
+from repro.harness.reportfmt import render_table, seconds
+
+
+def run_case(scheduler_factory=None, mode="async", simd=False, cgs=8, nsteps=3):
+    problem = problem_by_name("32x32x512")
+    grid = problem.grid()
+    burgers = BurgersProblem(grid)
+    controller = SimulationController(
+        grid,
+        burgers.tasks(),
+        burgers.init_tasks(),
+        num_ranks=cgs,
+        mode=mode,
+        real=False,
+        cost_model=calibration.cost_model(simd=simd),
+        fabric_config=calibration.FABRIC,
+        scheduler_kwargs=calibration.scheduler_kwargs() if scheduler_factory is None else {},
+        scheduler_factory=scheduler_factory,
+    )
+    return controller.run(nsteps=nsteps, dt=1e-5).time_per_step
+
+
+def sweep():
+    return {
+        "unified-16t": run_case(functools.partial(UnifiedHostScheduler, num_threads=16)),
+        "unified-1t": run_case(functools.partial(UnifiedHostScheduler, num_threads=1)),
+        "acc.sync": run_case(mode="sync"),
+        "acc.async": run_case(mode="async"),
+        "acc_simd.async": run_case(mode="async", simd=True),
+    }
+
+
+@pytest.mark.benchmark(group="motivation")
+def test_motivation_unified_vs_sunway(benchmark, publish):
+    results = run_once(benchmark, sweep)
+    base = results["unified-1t"]
+    rows = [(k, seconds(t), f"{base / t:.2f}x") for k, t in results.items()]
+    publish(
+        "motivation_unified",
+        render_table(
+            "Sec. II motivation: Unified Scheduler vs the Sunway port "
+            "(32x32x512, 8 CGs)",
+            ["Scheduler", "Time/step", "Speedup vs unified-1t"],
+            rows,
+        ),
+    )
+
+    # one MPE thread cannot overlap: unified-1t is the slowest
+    assert all(results["unified-1t"] >= t for t in results.values())
+    # the paper's async design recovers the offload factor (2.7-6.0x band)
+    assert 2.0 < base / results["acc.async"] < 7.5
+    # on a many-core host the Unified Scheduler is perfectly fine — the
+    # problem is Sunway's host, not Uintah's scheduler
+    assert results["unified-16t"] < results["acc.async"]

@@ -1,0 +1,18 @@
+"""Table II: Sunway TaihuLight system parameters (architectural facts)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.tables import table2
+from repro.sunway.config import SW26010, SunwayMachine
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_system_parameters(benchmark, publish):
+    text = run_once(benchmark, table2)
+    publish("table2", text)
+
+    machine = SunwayMachine(num_cgs=128)
+    assert machine.total_cores == 8320  # the paper's 128-CG experimental queue
+    assert SW26010.peak_flops == pytest.approx(765.6e9)
+    assert "3.06 Tflop/s" in text

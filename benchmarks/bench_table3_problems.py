@@ -1,0 +1,20 @@
+"""Table III: problem settings (patch sizes, grids, memory, min CGs)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.tables import table3, table3_data
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_problem_settings(benchmark, publish):
+    rows = run_once(benchmark, table3_data)
+    publish("table3", table3())
+
+    by_name = {r["problem"]: r for r in rows}
+    assert by_name["16x16x512"]["memory_bytes"] == 256 * 1024**2
+    assert by_name["128x128x512"]["memory_bytes"] == 16 * 1024**3
+    # the paper's starred rows: 64x64x512 crashes on 1 CG etc.
+    assert by_name["64x64x512"]["min_cgs"] == 2
+    assert by_name["64x128x512"]["min_cgs"] == 4
+    assert by_name["128x128x512"]["min_cgs"] == 8

@@ -1,0 +1,16 @@
+"""Table IV: the experimental variant matrix."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.tables import table4
+from repro.harness.variants import VARIANTS
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_variants(benchmark, publish):
+    text = run_once(benchmark, table4)
+    publish("table4", text)
+    assert len(VARIANTS) == 5
+    for name in ("host.sync", "acc.sync", "acc_simd.sync", "acc.async", "acc_simd.async"):
+        assert name in text

@@ -1,0 +1,40 @@
+"""Table V: strong-scaling efficiency, min CGs -> 128 CGs.
+
+Paper: 31.7% (small problem, simd.async) up to 97.7% (large, acc.sync);
+larger problems scale better; vectorized variants scale worse than
+non-vectorized; sync "scales" better than async only because its
+baseline is slower.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.tables import table5, table5_data
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_scaling_efficiency(benchmark, publish):
+    rows = run_once(benchmark, table5_data)
+    publish("table5", table5())
+
+    by_name = {r["problem"]: r for r in rows}
+    small, large = by_name["16x16x512"], by_name["128x128x512"]
+
+    # paper band: 31.7% .. 97.7% across the whole table
+    for r in rows:
+        for v in ("acc.sync", "acc.async", "acc_simd.sync", "acc_simd.async"):
+            assert 0.28 <= r[v] <= 1.0, (r["problem"], v, r[v])
+
+    # the fastest variant's efficiency spans ~32% (small) to ~90% (large)
+    assert small["acc_simd.async"] == pytest.approx(0.35, abs=0.08)  # paper 31.7%
+    assert large["acc_simd.async"] == pytest.approx(0.85, abs=0.10)  # paper 89.9%
+
+    # monotone: bigger problems scale better, per variant
+    for v in ("acc.sync", "acc.async", "acc_simd.sync", "acc_simd.async"):
+        seq = [r[v] for r in rows]
+        assert seq == sorted(seq), v
+
+    # vectorized scales worse than non-vectorized (fixed costs loom larger)
+    for r in rows:
+        assert r["acc_simd.async"] <= r["acc.async"] + 0.02
+        assert r["acc_simd.sync"] <= r["acc.sync"] + 0.02

@@ -1,0 +1,37 @@
+"""Table VI: async-over-sync improvement, non-vectorized kernel.
+
+Paper: improvements up to 39.3%, average ~13.5% over both kernels, wins
+in almost all cases, positive already at 1 CG, shrinking (and in the
+paper occasionally negative, attributed to machine anomalies) at 128 CGs.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.problems import CG_COUNTS
+from repro.harness.tables import table6, table6_data
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_async_improvement_novec(benchmark, publish):
+    rows = run_once(benchmark, table6_data)
+    publish("table6", table6())
+
+    values = [v for r in rows for k, v in r.items() if k != "problem"]
+
+    # async never loses in the deterministic model (paper: almost never)
+    assert all(v >= -0.01 for v in values)
+    # best improvement lands near the paper's 39.3%
+    assert 0.30 <= max(values) <= 0.50
+    # overall average in the paper's ~13.5% neighbourhood
+    avg = sum(values) / len(values)
+    assert 0.08 <= avg <= 0.22
+
+    # single-CG runs already benefit (paper Sec. VII-C: "Even with only
+    # one CG, performance improvements are still observed")
+    one_cg = [r[1] for r in rows if 1 in r]
+    assert all(v > 0.05 for v in one_cg)
+
+    # at 128 CGs (one patch per CG) there is nothing left to overlap
+    at_128 = [r[128] for r in rows if 128 in r]
+    assert all(abs(v) < 0.05 for v in at_128)

@@ -1,0 +1,35 @@
+"""Table VII: async-over-sync improvement, vectorized kernel.
+
+Paper: best 22.8%, typically ~5-20%, systematically *smaller* than the
+non-vectorized improvements (Table VI) because the vectorized kernel is
+nearer memory-bound and overlapped MPE traffic interferes with its DMA.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.problems import CG_COUNTS
+from repro.harness.tables import table7, table7_data, table6_data
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_async_improvement_vec(benchmark, publish):
+    rows = run_once(benchmark, table7_data)
+    publish("table7", table7())
+
+    values = [v for r in rows for k, v in r.items() if k != "problem"]
+    assert all(v >= -0.01 for v in values)
+    # best near the paper's 22.8%
+    assert 0.10 <= max(values) <= 0.30
+
+    # the headline claim: vectorized improvements smaller than scalar ones
+    novec = table6_data()
+    for r6, r7 in zip(novec, rows):
+        for cgs in CG_COUNTS:
+            if cgs in r6 and r6[cgs] > 0.05:
+                assert r7[cgs] < r6[cgs] + 0.02, (r6["problem"], cgs)
+    avg6 = sum(v for r in novec for k, v in r.items() if k != "problem") / sum(
+        len(r) - 1 for r in novec
+    )
+    avg7 = sum(values) / len(values)
+    assert avg7 < avg6

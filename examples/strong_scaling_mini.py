@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""A reduced-scale strong-scaling study (paper Sec. VII-B, Fig. 5/Table V).
+
+Sweeps the smallest and largest Table III problems over 1..128 simulated
+core-groups in performance-model mode, printing wall time per step,
+speedup, scaling efficiency and achieved Gflop/s — the same quantities
+the paper plots, generated in seconds on a laptop.
+
+Usage::
+
+    python examples/strong_scaling_mini.py
+"""
+
+from repro.harness import metrics
+from repro.harness.problems import problem_by_name
+from repro.harness.reportfmt import pct, render_table, seconds
+from repro.harness.runner import run_experiment
+from repro.harness.variants import variant_by_name
+
+
+def study(problem_name: str, variant_name: str, nsteps: int = 5):
+    problem = problem_by_name(problem_name)
+    variant = variant_by_name(variant_name)
+    base = None
+    rows = []
+    for cgs in problem.cg_counts():
+        r = run_experiment(problem, variant, cgs, nsteps=nsteps)
+        if base is None:
+            base = r
+        rows.append(
+            (
+                cgs,
+                seconds(r.time_per_step),
+                f"{metrics.speedup(base, r):.2f}x",
+                pct(metrics.scaling_efficiency(base, r)),
+                f"{r.gflops:.1f}",
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    for pname in ("16x16x512", "128x128x512"):
+        rows = study(pname, "acc_simd.async")
+        print(
+            render_table(
+                f"Strong scaling, {pname}, acc_simd.async (10-step protocol "
+                "shortened to 5)",
+                ["CGs", "Time/step", "Speedup", "Efficiency", "Gflop/s"],
+                rows,
+            )
+        )
+        print()
+    print(
+        "Paper shape check: the small problem's efficiency collapses toward"
+        "\n~30% at 128 CGs while the large problem stays near 90% — compare"
+        "\nTable V (31.7% and 89.9%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

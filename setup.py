@@ -1,0 +1,16 @@
+"""Setuptools shim.
+
+The offline environment this project targets ships setuptools without the
+``wheel`` package, which breaks PEP 517 editable installs
+(``error: invalid command 'bdist_wheel'``).  This shim keeps the classic
+path working::
+
+    python setup.py develop   # editable install without wheel
+    pip install -e . --no-build-isolation   # where wheel is available
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Reproduction of "A Preliminary Port and Evaluation of the Uintah AMT
+Runtime on Sunway TaihuLight" (IPDPS Workshops 2018).
+
+Top-level convenience exports; see the subpackages for the full API:
+
+* :mod:`repro.des` — discrete-event simulation kernel
+* :mod:`repro.sunway` — SW26010 architectural model
+* :mod:`repro.simmpi` — simulated MPI fabric
+* :mod:`repro.core` — the Uintah-style AMT runtime (grid, tasks,
+  data warehouses, schedulers, controller)
+* :mod:`repro.burgers` — the model fluid-flow problem
+* :mod:`repro.harness` — the paper's evaluation, regenerated
+* :mod:`repro.io` — UDA-style checkpoint archives
+
+Quick start::
+
+    from repro import Grid, SimulationController, BurgersProblem
+
+    grid = Grid(extent=(32, 32, 32), layout=(2, 2, 2))
+    problem = BurgersProblem(grid)
+    controller = SimulationController(
+        grid, problem.tasks(), problem.init_tasks(),
+        num_ranks=4, mode="async", real=True,
+    )
+    result = controller.run(nsteps=10, dt=problem.stable_dt())
+"""
+
+from repro.burgers.component import BurgersProblem
+from repro.core.controller import RunResult, SimulationController
+from repro.core.grid import Grid
+from repro.core.task import Task, TaskContext, TaskKind
+from repro.core.varlabel import VarLabel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BurgersProblem",
+    "Grid",
+    "RunResult",
+    "SimulationController",
+    "Task",
+    "TaskContext",
+    "TaskKind",
+    "VarLabel",
+    "__version__",
+]

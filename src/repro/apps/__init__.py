@@ -1,0 +1,17 @@
+"""Shipped application components beyond the paper's model problem.
+
+Uintah ships simulation components (ICE, MPM, Arches, ...) next to its
+infrastructure; this package plays that role for the reproduction:
+
+* :mod:`repro.apps.heat` — 3-D heat equation with an exact manufactured
+  solution (homogeneous Dirichlet box), the simplest non-trivial second
+  component, used to demonstrate and test that the runtime is
+  application-agnostic.
+
+The Burgers model problem of the paper itself lives in
+:mod:`repro.burgers`.
+"""
+
+from repro.apps.heat import HeatProblem
+
+__all__ = ["HeatProblem"]

@@ -1,0 +1,69 @@
+"""The 1D Burgers solution phi(x, t) and its stable evaluation.
+
+Paper Sec. III:
+
+.. math::
+
+    \\phi(x,t) = \\frac{0.1 e^a + 0.5 e^b + e^c}{e^a + e^b + e^c}
+
+with ``a = -0.05 (x - 0.5 + 4.95 t) / nu``,
+``b = -0.25 (x - 0.5 + 0.75 t) / nu``,
+``c = -0.5 (x - 0.375) / nu`` and viscosity ``nu = 0.01``.
+
+The exponents reach magnitudes of thousands for x away from the travelling
+fronts, so the textbook form overflows float64.  "Dividing the numerator
+and denominator ... by the largest value of e^a, e^b, e^c reduces the
+number of exponentials needed by one" — and, crucially, makes every
+remaining exponent non-positive, so nothing overflows.  :func:`phi` is
+that stable form; :func:`phi_naive` is the textbook form kept for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sunway.fastmath import ieee_exp
+
+#: Default viscosity of the model problem.
+NU = 0.01
+
+
+def _exponents(x, t: float, nu: float):
+    x = np.asarray(x, dtype=np.float64)
+    a = -0.05 * (x - 0.5 + 4.95 * t) / nu
+    b = -0.25 * (x - 0.5 + 0.75 * t) / nu
+    c = -0.5 * (x - 0.375) / nu
+    return a, b, c
+
+
+def phi_naive(x, t: float = 0.0, nu: float = NU, exp=ieee_exp):
+    """Textbook phi — three exponentials, overflows away from the fronts.
+
+    Only safe close to x ~ 0.4-0.6 at small t; exists so tests can verify
+    the stable form agrees wherever this one is finite.
+    """
+    a, b, c = _exponents(x, t, nu)
+    ea, eb, ec = exp(a), exp(b), exp(c)
+    return (0.1 * ea + 0.5 * eb + ec) / (ea + eb + ec)
+
+
+def phi(x, t: float = 0.0, nu: float = NU, exp=ieee_exp):
+    """Numerically stable phi — two exponentials per point.
+
+    Subtracts the largest exponent before exponentiating: the largest
+    term becomes exactly 1 (no ``exp`` call needed for it on hardware;
+    here the counting model charges 2 exponentials per call) and the
+    others are ``exp`` of non-positive values.
+
+    ``exp`` selects the exponential library (IEEE or fast), mirroring the
+    paper's Sec. VI-C choice.
+    """
+    a, b, c = _exponents(x, t, nu)
+    m = np.maximum(np.maximum(a, b), c)
+    ea, eb, ec = exp(a - m), exp(b - m), exp(c - m)
+    return (0.1 * ea + 0.5 * eb + ec) / (ea + eb + ec)
+
+
+def phi_range() -> tuple[float, float]:
+    """Bounds of phi: a convex combination of (0.1, 0.5, 1.0)."""
+    return 0.1, 1.0

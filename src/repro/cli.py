@@ -1,0 +1,193 @@
+"""Command-line interface: regenerate the paper's evaluation from a shell.
+
+Examples::
+
+    python -m repro info
+    python -m repro table 1
+    python -m repro table 5 --nsteps 5
+    python -m repro fig 9
+    python -m repro run --problem 32x32x512 --variant acc.async --cgs 8
+    python -m repro sweep --problem 16x16x512 --variant acc_simd.async
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import metrics
+from repro.harness.problems import PROBLEMS, problem_by_name
+from repro.harness.reportfmt import pct, render_table, seconds
+from repro.harness.runner import run_experiment
+from repro.harness.variants import VARIANTS, variant_by_name
+
+
+def _cmd_info(_args) -> int:
+    from repro.harness.tables import table2, table3, table4
+
+    print(table2())
+    print()
+    print(table3())
+    print()
+    print(table4())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.harness import tables
+
+    fns = {
+        "1": tables.table1,
+        "2": tables.table2,
+        "3": tables.table3,
+        "4": tables.table4,
+        "5": lambda: tables.table5(nsteps=args.nsteps),
+        "6": lambda: tables.table6(nsteps=args.nsteps),
+        "7": lambda: tables.table7(nsteps=args.nsteps),
+    }
+    fn = fns.get(args.number)
+    if fn is None:
+        print(f"no table {args.number!r}; choose from {sorted(fns)}", file=sys.stderr)
+        return 2
+    print(fn())
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    from repro.harness import figures
+
+    fns = {
+        "5": lambda: figures.fig5(nsteps=args.nsteps),
+        "678": lambda: figures.fig678(nsteps=args.nsteps),
+        "6": lambda: figures.fig678(nsteps=args.nsteps),
+        "7": lambda: figures.fig678(nsteps=args.nsteps),
+        "8": lambda: figures.fig678(nsteps=args.nsteps),
+        "9": lambda: figures.fig9(nsteps=args.nsteps),
+        "10": lambda: figures.fig10(nsteps=args.nsteps),
+    }
+    fn = fns.get(args.number)
+    if fn is None:
+        print(f"no figure {args.number!r}; choose from 5, 6-8, 9, 10", file=sys.stderr)
+        return 2
+    print(fn())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    problem = problem_by_name(args.problem)
+    variant = variant_by_name(args.variant)
+    result = run_experiment(problem, variant, args.cgs, nsteps=args.nsteps)
+    rows = [
+        ("problem", result.problem),
+        ("variant", result.variant),
+        ("CGs", result.num_cgs),
+        ("time/step", seconds(result.time_per_step)),
+        ("Gflop/s", f"{result.gflops:.2f}"),
+        ("FP efficiency", pct(result.fp_efficiency, 2)),
+        ("messages/step", f"{result.messages_per_step:.0f}"),
+        ("MB/step on the wire", f"{result.bytes_per_step / 1e6:.1f}"),
+    ]
+    print(render_table("Experiment result (simulated Sunway time)", ["Metric", "Value"], rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    problem = problem_by_name(args.problem)
+    variant = variant_by_name(args.variant)
+    base = None
+    rows = []
+    for cgs in problem.cg_counts():
+        r = run_experiment(problem, variant, cgs, nsteps=args.nsteps)
+        base = base or r
+        rows.append(
+            (
+                cgs,
+                seconds(r.time_per_step),
+                f"{metrics.speedup(base, r):.2f}x",
+                pct(metrics.scaling_efficiency(base, r)),
+                f"{r.gflops:.1f}",
+                pct(r.fp_efficiency, 2),
+            )
+        )
+    print(
+        render_table(
+            f"Strong scaling: {problem.name}, {variant.name}",
+            ["CGs", "Time/step", "Speedup", "Efficiency", "Gflop/s", "FP eff"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness.report import full_report
+
+    text = full_report(nsteps=args.nsteps, progress=lambda s: print(s, file=sys.stderr))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the Uintah-on-Sunway-TaihuLight evaluation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="machine, problems and variants").set_defaults(
+        fn=_cmd_info
+    )
+
+    p = sub.add_parser("table", help="regenerate a paper table (1-7)")
+    p.add_argument("number", help="table number, e.g. 5")
+    p.add_argument("--nsteps", type=int, default=10, help="timesteps per case")
+    p.set_defaults(fn=_cmd_table)
+
+    p = sub.add_parser("fig", help="regenerate a paper figure (5, 6-8, 9, 10)")
+    p.add_argument("number", help="figure number, e.g. 9")
+    p.add_argument("--nsteps", type=int, default=10)
+    p.set_defaults(fn=_cmd_fig)
+
+    p = sub.add_parser("run", help="run one experimental case")
+    p.add_argument("--problem", default="32x32x512", choices=[pr.name for pr in PROBLEMS])
+    p.add_argument("--variant", default="acc.async", choices=sorted(VARIANTS))
+    p.add_argument("--cgs", type=int, default=8)
+    p.add_argument("--nsteps", type=int, default=10)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("report", help="regenerate the complete evaluation")
+    p.add_argument("--nsteps", type=int, default=10)
+    p.add_argument("--output", default=None, help="write to a file instead of stdout")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("sweep", help="strong-scaling sweep of one problem/variant")
+    p.add_argument("--problem", default="16x16x512", choices=[pr.name for pr in PROBLEMS])
+    p.add_argument("--variant", default="acc_simd.async", choices=sorted(VARIANTS))
+    p.add_argument("--nsteps", type=int, default=10)
+    p.set_defaults(fn=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # output piped into e.g. `head`; exit quietly like other CLIs
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

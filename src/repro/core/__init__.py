@@ -1,0 +1,50 @@
+"""The Uintah-style asynchronous many-task runtime.
+
+This package rebuilds, in Python and from scratch, the slice of the Uintah
+framework the paper's port relies on (paper Sec. II):
+
+* a patch-centric discretization of structured meshes
+  (:mod:`~repro.core.grid`, :mod:`~repro.core.patch`);
+* grid variables with ghost cells stored per patch
+  (:mod:`~repro.core.variables`, :mod:`~repro.core.varlabel`);
+* old/new **data warehouses** that carry state between timesteps
+  (:mod:`~repro.core.datawarehouse`);
+* user-declared coarse **tasks** with ``requires`` / ``computes``
+  (:mod:`~repro.core.task`), compiled into a distributed task graph with
+  explicit MPI message specifications (:mod:`~repro.core.taskgraph`);
+* a **load balancer** assigning patches to ranks
+  (:mod:`~repro.core.loadbalancer`);
+* LDM-constrained **tiling** of patches for CPE execution
+  (:mod:`~repro.core.tiling`), after TiDA;
+* pluggable **schedulers** (:mod:`~repro.core.schedulers`): the paper's
+  asynchronous Sunway scheduler plus its synchronous and MPE-only modes;
+* a timestepping **simulation controller**
+  (:mod:`~repro.core.controller`).
+"""
+
+from repro.core.grid import Grid
+from repro.core.patch import Patch, Region
+from repro.core.varlabel import VarLabel
+from repro.core.variables import CCVariable
+from repro.core.datawarehouse import DataWarehouse
+from repro.core.task import Task, TaskKind, DetailedTask
+from repro.core.taskgraph import TaskGraph, MessageSpec
+from repro.core.loadbalancer import LoadBalancer
+from repro.core.tiling import TilePlan, choose_tile_shape
+
+__all__ = [
+    "Grid",
+    "Patch",
+    "Region",
+    "VarLabel",
+    "CCVariable",
+    "DataWarehouse",
+    "Task",
+    "TaskKind",
+    "DetailedTask",
+    "TaskGraph",
+    "MessageSpec",
+    "LoadBalancer",
+    "TilePlan",
+    "choose_tile_shape",
+]

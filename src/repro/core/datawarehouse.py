@@ -1,0 +1,107 @@
+"""Old/new data warehouses.
+
+"The *old* data warehouse holds the data calculated in the previous
+timestep.  The coarse task takes what it needs from the old data
+warehouse and produces results that then populate the *new* data
+warehouse ... after the timestep is completed, the new data warehouse
+becomes the old data warehouse for the next timestep." (paper Sec. II)
+
+Each simulated rank owns one old and one new :class:`DataWarehouse` per
+timestep, holding only its local patches' variables (plus whatever ghost
+data has been unpacked into their halos).  Reduction variables live in
+the warehouse as scalars.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.patch import Patch
+from repro.core.variables import CCVariable
+from repro.core.varlabel import VarLabel
+
+
+class DataWarehouse:
+    """Variable storage for one rank and one timestep generation."""
+
+    def __init__(self, step: int, rank: int = 0):
+        self.step = step
+        self.rank = rank
+        self._grid_vars: dict[tuple[str, int], CCVariable] = {}
+        self._reductions: dict[str, float] = {}
+
+    # -- grid variables ----------------------------------------------------------
+    def put(self, var: CCVariable) -> None:
+        """Store a grid variable; a label/patch pair may only be computed once
+        per timestep (Uintah's single-assignment rule)."""
+        key = (var.label.name, var.patch.patch_id)
+        if key in self._grid_vars:
+            raise KeyError(
+                f"{var.label.name!r} on patch {var.patch.patch_id} already computed "
+                f"in DW step {self.step} (variables are single-assignment)"
+            )
+        self._grid_vars[key] = var
+
+    def get(self, label: VarLabel, patch: Patch) -> CCVariable:
+        """Fetch a grid variable; raises if the task graph never produced it."""
+        try:
+            return self._grid_vars[(label.name, patch.patch_id)]
+        except KeyError:
+            raise KeyError(
+                f"{label.name!r} on patch {patch.patch_id} not in DW step {self.step} "
+                f"(rank {self.rank})"
+            ) from None
+
+    def exists(self, label: VarLabel, patch: Patch) -> bool:
+        """Whether a grid variable is present."""
+        return (label.name, patch.patch_id) in self._grid_vars
+
+    def allocate_and_put(self, label: VarLabel, patch: Patch, ghosts: int = 1) -> CCVariable:
+        """Create a zeroed variable, register it, return it (Uintah's
+        ``allocateAndPut``)."""
+        var = CCVariable(label, patch, ghosts)
+        self.put(var)
+        return var
+
+    def scrub(self, label: VarLabel, patch: Patch) -> None:
+        """Drop a variable whose consumers have all run (memory reclaim)."""
+        self._grid_vars.pop((label.name, patch.patch_id), None)
+
+    def scrub_named(self, label_name: str, patch_id: int) -> None:
+        """Scrub by key — what the scheduler's scrub counters use."""
+        self._grid_vars.pop((label_name, patch_id), None)
+
+    # -- reductions -----------------------------------------------------------------
+    def put_reduction(self, label: VarLabel, value: float) -> None:
+        """Store a reduced scalar (overwrites: reductions are idempotent)."""
+        if not label.is_reduction:
+            raise TypeError(f"{label.name!r} is not a reduction label")
+        self._reductions[label.name] = float(value)
+
+    def get_reduction(self, label: VarLabel) -> float:
+        """Fetch a reduced scalar."""
+        if not label.is_reduction:
+            raise TypeError(f"{label.name!r} is not a reduction label")
+        try:
+            return self._reductions[label.name]
+        except KeyError:
+            raise KeyError(f"reduction {label.name!r} not in DW step {self.step}") from None
+
+    def has_reduction(self, label: VarLabel) -> bool:
+        """Whether a reduced scalar is present."""
+        return label.name in self._reductions
+
+    # -- inventory -------------------------------------------------------------------
+    def grid_variables(self) -> _t.Iterator[CCVariable]:
+        """Iterate stored grid variables (deterministic order)."""
+        for key in sorted(self._grid_vars):
+            yield self._grid_vars[key]
+
+    def __len__(self) -> int:
+        return len(self._grid_vars) + len(self._reductions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DataWarehouse step={self.step} rank={self.rank} "
+            f"{len(self._grid_vars)} grid vars, {len(self._reductions)} reductions>"
+        )

@@ -1,0 +1,144 @@
+"""The structured grid and its patch layout.
+
+A :class:`Grid` is a single-level regular Cartesian mesh over a physical
+box, partitioned into equally-sized patches ("the grid is partitioned
+into equally-sized patches for parallelization", paper Sec. VII-A; the
+evaluation fixes an 8x8x2 patch layout).  Multi-level AMR, which full
+Uintah supports, is outside the paper's experiments and therefore out of
+scope here (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.core.patch import Patch, Region, FACES
+
+
+@dataclasses.dataclass(frozen=True)
+class Grid:
+    """A regular grid of ``extent`` cells split into ``layout`` patches.
+
+    Parameters
+    ----------
+    extent:
+        Global cells per axis ``(Nx, Ny, Nz)``.
+    layout:
+        Patches per axis ``(Px, Py, Pz)``; must divide ``extent``.
+    domain_low / domain_high:
+        Physical bounds of the box; cell spacing follows.
+    """
+
+    extent: tuple[int, int, int]
+    layout: tuple[int, int, int] = (1, 1, 1)
+    domain_low: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    domain_high: tuple[float, float, float] = (1.0, 1.0, 1.0)
+
+    def __post_init__(self) -> None:
+        for axis in range(3):
+            n, p = self.extent[axis], self.layout[axis]
+            if n < 1 or p < 1:
+                raise ValueError(f"extent/layout must be positive, got {self.extent}/{self.layout}")
+            if n % p:
+                raise ValueError(
+                    f"layout {self.layout} does not divide extent {self.extent} on axis {axis}"
+                )
+            if self.domain_high[axis] <= self.domain_low[axis]:
+                raise ValueError("domain_high must exceed domain_low")
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def spacing(self) -> tuple[float, float, float]:
+        """Cell width per axis (dx, dy, dz)."""
+        return tuple(  # type: ignore[return-value]
+            (hi - lo) / n for lo, hi, n in zip(self.domain_low, self.domain_high, self.extent)
+        )
+
+    @property
+    def patch_extent(self) -> tuple[int, int, int]:
+        """Cells per patch per axis."""
+        return tuple(n // p for n, p in zip(self.extent, self.layout))  # type: ignore[return-value]
+
+    @property
+    def num_cells(self) -> int:
+        """Total cells in the grid."""
+        nx, ny, nz = self.extent
+        return nx * ny * nz
+
+    @property
+    def num_patches(self) -> int:
+        """Total patches in the layout."""
+        px, py, pz = self.layout
+        return px * py * pz
+
+    def cell_center(self, cell: tuple[int, int, int]) -> tuple[float, float, float]:
+        """Physical coordinates of a cell's centroid."""
+        dx = self.spacing
+        return tuple(  # type: ignore[return-value]
+            self.domain_low[a] + (cell[a] + 0.5) * dx[a] for a in range(3)
+        )
+
+    # -- patches ------------------------------------------------------------------
+    def patch_index_to_id(self, index: tuple[int, int, int]) -> int:
+        """Serial patch id from layout coordinates (x-major)."""
+        px, py, pz = self.layout
+        ix, iy, iz = index
+        if not (0 <= ix < px and 0 <= iy < py and 0 <= iz < pz):
+            raise IndexError(f"patch index {index} outside layout {self.layout}")
+        return (iz * py + iy) * px + ix
+
+    def patch(self, index: tuple[int, int, int]) -> Patch:
+        """The patch at layout coordinates ``index``."""
+        ex = self.patch_extent
+        low = tuple(index[a] * ex[a] for a in range(3))
+        high = tuple(low[a] + ex[a] for a in range(3))
+        return Patch(self.patch_index_to_id(index), index, Region(low, high))  # type: ignore[arg-type]
+
+    def patches(self) -> list[Patch]:
+        """All patches, ordered by patch id."""
+        px, py, pz = self.layout
+        return [
+            self.patch((ix, iy, iz))
+            for iz in range(pz)
+            for iy in range(py)
+            for ix in range(px)
+        ]
+
+    def neighbor(self, patch: Patch, axis: int, side: int) -> Patch | None:
+        """The face neighbour of ``patch``, or None at the domain boundary."""
+        idx = list(patch.index)
+        idx[axis] += side
+        if not 0 <= idx[axis] < self.layout[axis]:
+            return None
+        return self.patch(tuple(idx))  # type: ignore[arg-type]
+
+    def face_neighbors(self, patch: Patch) -> list[tuple[int, int, Patch]]:
+        """All existing face neighbours as ``(axis, side, neighbor)``."""
+        out = []
+        for axis, side in FACES:
+            nb = self.neighbor(patch, axis, side)
+            if nb is not None:
+                out.append((axis, side, nb))
+        return out
+
+    def boundary_faces(self, patch: Patch) -> list[tuple[int, int]]:
+        """Faces of ``patch`` lying on the physical domain boundary."""
+        return [
+            (axis, side)
+            for axis, side in FACES
+            if self.neighbor(patch, axis, side) is None
+        ]
+
+    # -- bookkeeping used by the harness ------------------------------------------
+    def memory_bytes(self, fields: int = 2, ghosts: int = 1, itemsize: int = 8) -> int:
+        """Approximate allocation for ``fields`` ghosted copies of the grid.
+
+        Matches the paper's Table III "Mem" column, which counts the u and
+        u_new fields over all patches including their ghost layers.
+        """
+        ex = self.patch_extent
+        per_patch = 1
+        for a in range(3):
+            per_patch *= ex[a] + 2 * ghosts
+        return per_patch * itemsize * fields * self.num_patches

@@ -1,0 +1,30 @@
+"""Task schedulers: the paper's Sunway-specific scheduler and its modes.
+
+One scheduler implementation (:class:`~repro.core.schedulers.scheduler.
+SunwayScheduler`) supports the three operating modes of paper Sec. V-C:
+
+* ``"async"`` — the contribution: offload a kernel to the CPE cluster and
+  *return immediately*, overlapping kernel execution with MPI progress,
+  ghost packing, reductions and other MPE tasks (variants ``acc.async``,
+  ``acc_simd.async``);
+* ``"sync"`` — offload, then spin on the completion flag: no overlap
+  (variants ``acc.sync``, ``acc_simd.sync``);
+* ``"mpe_only"`` — execute kernels on the MPE without offloading
+  (variant ``host.sync``).
+
+:class:`AsyncScheduler`, :class:`SyncScheduler` and
+:class:`MPEOnlyScheduler` are convenience subclasses pinning the mode.
+"""
+
+from repro.core.schedulers.base import SchedulerStats, DeadlockError
+from repro.core.schedulers.scheduler import SunwayScheduler
+from repro.core.schedulers.modes import AsyncScheduler, SyncScheduler, MPEOnlyScheduler
+
+__all__ = [
+    "SchedulerStats",
+    "DeadlockError",
+    "SunwayScheduler",
+    "AsyncScheduler",
+    "SyncScheduler",
+    "MPEOnlyScheduler",
+]

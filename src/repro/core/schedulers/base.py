@@ -1,0 +1,92 @@
+"""Shared scheduler plumbing: stats, errors, readiness bookkeeping."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+class DeadlockError(RuntimeError):
+    """The scheduler ran out of runnable work with tasks still pending.
+
+    Indicates a task-graph bug (missing producer, wrong assignment) — the
+    runtime refuses to hang silently.
+    """
+
+
+@dataclasses.dataclass
+class SchedulerStats:
+    """Counters accumulated by one rank's scheduler across a run."""
+
+    tasks_run: int = 0
+    kernels_offloaded: int = 0
+    kernels_on_mpe: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    local_copies: int = 0
+    reductions: int = 0
+    #: Simulated seconds the MPE spent blocked with nothing runnable.
+    idle_wait: float = 0.0
+    #: Simulated seconds the sync mode spent spinning on the flag.
+    spin_wait: float = 0.0
+    #: Old-DW variables scrubbed after their last consumer (memory reclaim).
+    scrubbed: int = 0
+    #: Counted kernel flops (perf-counter convention).
+    kernel_flops: int = 0
+
+    def merge(self, other: "SchedulerStats") -> None:
+        """Fold another rank's counters into this one."""
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, getattr(self, field.name) + getattr(other, field.name))
+
+
+class ReadinessTracker:
+    """Blocker counting for one timestep's local detailed tasks.
+
+    A task becomes ready when its internal producers have completed,
+    every incoming message has been unpacked, and every intra-rank ghost
+    copy feeding it has been performed.
+    """
+
+    def __init__(self, local_tasks, graph):
+        self.blockers: dict[int, int] = {}
+        self.ready: list = []
+        self._tasks = {dt.dt_id: dt for dt in local_tasks}
+        for dt in local_tasks:
+            n = len(graph.internal_deps[dt.dt_id])
+            n += len(graph.recvs_for(dt))
+            n += len(graph.copies_for(dt))
+            self.blockers[dt.dt_id] = n
+            if n == 0:
+                self.ready.append(dt)
+
+    def release(self, dt_id: int) -> None:
+        """One blocker of ``dt_id`` resolved; enqueue when count hits zero."""
+        if dt_id not in self.blockers:
+            return  # consumer lives on another rank
+        self.blockers[dt_id] -= 1
+        if self.blockers[dt_id] == 0:
+            self.ready.append(self._tasks[dt_id])
+        elif self.blockers[dt_id] < 0:
+            raise RuntimeError(f"blocker count of task {dt_id} went negative")
+
+    def pop_ready(self, predicate, key=None) -> object | None:
+        """Remove and return a ready task matching ``predicate``.
+
+        ``key`` (optional) selects among the matches: the highest-scoring
+        one is taken (ties keep queue order).  Without it, FIFO.
+        """
+        matches = [(i, dt) for i, dt in enumerate(self.ready) if predicate(dt)]
+        if not matches:
+            return None
+        if key is None:
+            i, dt = matches[0]
+        else:
+            i, dt = max(matches, key=lambda pair: key(pair[1]))
+        self.ready.pop(i)
+        return dt
+
+    @property
+    def any_ready(self) -> bool:
+        """Whether any task is currently runnable."""
+        return bool(self.ready)

@@ -1,0 +1,34 @@
+"""Convenience scheduler subclasses pinning the operating mode.
+
+The paper describes one scheduler with three modes (Sec. V-C); these
+subclasses give each mode a named type, mirroring how Uintah exposes
+separate scheduler components while sharing the implementation.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedulers.scheduler import SunwayScheduler
+
+
+class AsyncScheduler(SunwayScheduler):
+    """The asynchronous MPE+CPE scheduler — the paper's contribution."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs["mode"] = "async"
+        super().__init__(*args, **kwargs)
+
+
+class SyncScheduler(SunwayScheduler):
+    """Synchronous MPE+CPE mode: spin on the completion flag, no overlap."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs["mode"] = "sync"
+        super().__init__(*args, **kwargs)
+
+
+class MPEOnlyScheduler(SunwayScheduler):
+    """MPE-only mode: kernels run on the management core (host.sync)."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs["mode"] = "mpe_only"
+        super().__init__(*args, **kwargs)

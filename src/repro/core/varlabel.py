@@ -1,0 +1,41 @@
+"""Variable labels: typed names identifying simulation state.
+
+Uintah tasks communicate exclusively through labelled variables in the
+data warehouses; a :class:`VarLabel` is the (name, type) key users create
+once and pass to ``requires`` / ``computes`` declarations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class VarLabel:
+    """A named variable kind.
+
+    ``vartype`` is ``"cell"`` for cell-centred grid variables (the only
+    grid variable type the model problem needs) or ``"reduction"`` for
+    scalars combined across patches and ranks (e.g. a stability norm).
+    """
+
+    name: str
+    vartype: str = "cell"
+    #: Bytes per value; grid variables are double precision.
+    itemsize: int = 8
+
+    _VALID = ("cell", "reduction")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("VarLabel needs a non-empty name")
+        if self.vartype not in self._VALID:
+            raise ValueError(f"vartype must be one of {self._VALID}, got {self.vartype!r}")
+
+    @property
+    def is_reduction(self) -> bool:
+        """Whether this is a reduction (scalar) variable."""
+        return self.vartype == "reduction"
+
+    def __str__(self) -> str:
+        return self.name

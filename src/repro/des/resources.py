@@ -1,0 +1,121 @@
+"""Contended-capacity primitives built on the event kernel.
+
+Two primitives cover everything the Sunway model needs:
+
+* :class:`Resource` — N interchangeable slots (e.g. the CPE cluster viewed
+  as one offload engine, or a DMA channel).
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``
+  (e.g. a rank's incoming-message queue in the simulated MPI fabric).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as _t
+
+from repro.des.event import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.des.simulator import Simulator
+
+
+class Request(Event):
+    """Event representing a pending slot acquisition on a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim, name=f"request:{resource.name}")
+        self.resource = resource
+
+    def release(self) -> None:
+        """Give the slot back (only valid once the request has fired)."""
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` interchangeable slots, granted in FIFO order.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        ...  # hold the slot
+        req.release()
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._holders: set[Request] = set()
+        self._waiting: collections.deque[Request] = collections.deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._holders) < self.capacity:
+            self._holders.add(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return a previously-granted slot."""
+        if req not in self._holders:
+            raise RuntimeError(f"{req!r} does not hold a slot on {self.name!r}")
+        self._holders.remove(req)
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self._holders.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the
+    oldest item, immediately if one is available.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: collections.deque = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: object) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event firing with the oldest item (possibly already available)."""
+        ev = Event(self.sim, name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> object | None:
+        """Non-blocking get: the oldest item or ``None`` if empty."""
+        return self._items.popleft() if self._items else None

@@ -1,0 +1,148 @@
+"""The event loop and virtual clock."""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+
+from repro.des.event import Event, Timeout, all_of, any_of
+from repro.des.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Time is a ``float`` in seconds of *simulated* machine time.  Events
+    scheduled for the same instant fire in scheduling (FIFO) order, which
+    makes every run bit-reproducible — a property the scheduler
+    distribution-invariance tests rely on.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.5)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, object]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self, name: str | None = None) -> Event:
+        """A fresh untriggered event (trigger it with ``succeed``/``fail``)."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: _t.Generator, name: str | None = None) -> Process:
+        """Start a new process from ``generator``; returns its Process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: _t.Sequence[Event]) -> Event:
+        """Event firing when all of ``events`` fired."""
+        return all_of(self, events)
+
+    def any_of(self, events: _t.Sequence[Event]) -> Event:
+        """Event firing when any of ``events`` fired."""
+        return any_of(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, item: object, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, item))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one scheduled event."""
+        try:
+            when, _, item = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no events scheduled") from None
+        assert when >= self._now, "event queue went backwards"
+        self._now = when
+        item._process()  # type: ignore[attr-defined]
+
+    def run(
+        self, until: float | Event | None = None, max_events: int | None = None
+    ) -> object:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run to queue exhaustion;
+            a ``float`` — run until the clock would pass that time
+            (the clock is then set to exactly that time);
+            an :class:`Event` — run until that event has been processed,
+            returning its value (or raising its exception).
+        max_events:
+            Optional runaway guard: abort with ``RuntimeError`` after
+            processing this many events (catches processes stuck in
+            zero-delay loops, which never drain the queue).
+        """
+        budget = max_events
+
+        def tick() -> None:
+            nonlocal budget
+            self.step()
+            if budget is not None:
+                budget -= 1
+                if budget < 0:
+                    raise RuntimeError(
+                        f"simulation exceeded max_events={max_events} at t={self._now} "
+                        "(zero-delay loop?)"
+                    )
+
+        if until is None:
+            while self._queue:
+                tick()
+            return None
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._queue:
+                    raise RuntimeError(
+                        f"simulation ran out of events before {target!r} fired (deadlock?)"
+                    )
+                tick()
+            if not target.ok:
+                raise _t.cast(BaseException, target.value)
+            return target.value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            tick()
+        self._now = horizon
+        return None

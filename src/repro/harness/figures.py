@@ -1,0 +1,149 @@
+"""Regenerate the data series of every figure in the evaluation.
+
+Figures are produced as numeric series (CG count -> value) plus a text
+rendering, since the reproduction environment is headless; the series are
+what the paper's plots draw.
+"""
+
+from __future__ import annotations
+
+from repro.harness import metrics
+from repro.harness.problems import PROBLEMS, ProblemSetting, small_medium_large
+from repro.harness.reportfmt import pct, render_table, seconds
+from repro.harness.runner import run_experiment
+from repro.harness.variants import ACCELERATED, variant_by_name
+
+
+# -- Figure 5: strong-scaling wall time ---------------------------------------------
+
+def fig5_data(problems=PROBLEMS, variants=ACCELERATED, nsteps=10) -> dict:
+    """Wall time per step: ``{problem: {variant: {cgs: seconds}}}``."""
+    out: dict = {}
+    for p in problems:
+        out[p.name] = {}
+        for vname in variants:
+            v = variant_by_name(vname)
+            out[p.name][vname] = {
+                cgs: run_experiment(p, v, cgs, nsteps=nsteps).time_per_step
+                for cgs in p.cg_counts()
+            }
+    return out
+
+
+def fig5(problems=PROBLEMS, variants=ACCELERATED, nsteps=10) -> str:
+    data = fig5_data(problems, variants, nsteps)
+    blocks = []
+    for pname, per_variant in data.items():
+        cgs_list = sorted(next(iter(per_variant.values())))
+        rows = [
+            (vname,) + tuple(seconds(per_variant[vname][c]) for c in cgs_list)
+            for vname in per_variant
+        ]
+        blocks.append(
+            render_table(
+                f"Fig. 5 ({pname}): wall time per step vs CGs",
+                ("Variant",) + tuple(str(c) for c in cgs_list),
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+# -- Figures 6-8: optimization boost -----------------------------------------------------
+
+#: The optimization-step ladder of Sec. VII-D.
+BOOST_VARIANTS = ("host.sync", "acc.async", "acc_simd.async")
+
+
+def boost_data(problem: ProblemSetting, nsteps=10) -> dict:
+    """Boost over host.sync per CG count: ``{variant: {cgs: boost}}``."""
+    host = variant_by_name("host.sync")
+    out: dict = {v: {} for v in BOOST_VARIANTS[1:]}
+    for cgs in problem.cg_counts():
+        base = run_experiment(problem, host, cgs, nsteps=nsteps)
+        for vname in BOOST_VARIANTS[1:]:
+            opt = run_experiment(problem, variant_by_name(vname), cgs, nsteps=nsteps)
+            out[vname][cgs] = metrics.optimization_boost(base, opt)
+    return out
+
+
+def fig678_data(nsteps=10) -> dict:
+    """Boost ladders for the small/medium/large problems (Figs. 6, 7, 8)."""
+    small, medium, large = small_medium_large()
+    return {
+        "fig6_small": {"problem": small.name, "boost": boost_data(small, nsteps)},
+        "fig7_medium": {"problem": medium.name, "boost": boost_data(medium, nsteps)},
+        "fig8_large": {"problem": large.name, "boost": boost_data(large, nsteps)},
+    }
+
+
+def fig678(nsteps=10) -> str:
+    blocks = []
+    for key, entry in fig678_data(nsteps).items():
+        boosts = entry["boost"]
+        cgs_list = sorted(next(iter(boosts.values())))
+        rows = [
+            (vname,) + tuple(f"{boosts[vname][c]:.2f}x" for c in cgs_list)
+            for vname in boosts
+        ]
+        blocks.append(
+            render_table(
+                f"{key} ({entry['problem']}): boost over host.sync",
+                ("Variant",) + tuple(str(c) for c in cgs_list),
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+# -- Figures 9-10: floating point performance and efficiency --------------------------------
+
+def fig9_data(problems=PROBLEMS, nsteps=10) -> dict:
+    """Achieved Gflop/s of acc_simd.async: ``{problem: {cgs: gflops}}``."""
+    v = variant_by_name("acc_simd.async")
+    return {
+        p.name: {
+            cgs: run_experiment(p, v, cgs, nsteps=nsteps).gflops
+            for cgs in p.cg_counts()
+        }
+        for p in problems
+    }
+
+
+def fig10_data(problems=PROBLEMS, nsteps=10) -> dict:
+    """FP efficiency (fraction of peak): ``{problem: {cgs: fraction}}``."""
+    v = variant_by_name("acc_simd.async")
+    return {
+        p.name: {
+            cgs: run_experiment(p, v, cgs, nsteps=nsteps).fp_efficiency
+            for cgs in p.cg_counts()
+        }
+        for p in problems
+    }
+
+
+def _series_table(title: str, data: dict, fmt) -> str:
+    from repro.harness.problems import CG_COUNTS
+
+    rows = []
+    for pname, series in data.items():
+        rows.append(
+            (pname,) + tuple(fmt(series[c]) if c in series else "-" for c in CG_COUNTS)
+        )
+    return render_table(title, ("Problem",) + tuple(str(c) for c in CG_COUNTS), rows)
+
+
+def fig9(problems=PROBLEMS, nsteps=10) -> str:
+    return _series_table(
+        "Fig. 9: floating point performance (Gflop/s), acc_simd.async",
+        fig9_data(problems, nsteps),
+        lambda g: f"{g:.1f}",
+    )
+
+
+def fig10(problems=PROBLEMS, nsteps=10) -> str:
+    return _series_table(
+        "Fig. 10: floating point efficiency (% of peak), acc_simd.async",
+        fig10_data(problems, nsteps),
+        lambda f: pct(f, 2),
+    )

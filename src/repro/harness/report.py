@@ -1,0 +1,59 @@
+"""One-shot evaluation report: every table and figure in a single text.
+
+Used by ``python -m repro report`` and by anyone wanting the whole
+Sec. VII evaluation regenerated into a file::
+
+    from repro.harness.report import full_report
+    print(full_report(nsteps=10))
+
+The heavy sweeps share the runner's memoization, so the report costs the
+same as its most expensive table.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.harness import figures, tables
+
+
+#: The report's sections in paper order: (title, callable(nsteps) -> str).
+SECTIONS = (
+    ("Table I", lambda nsteps: tables.table1()),
+    ("Table II", lambda nsteps: tables.table2()),
+    ("Table III", lambda nsteps: tables.table3()),
+    ("Table IV", lambda nsteps: tables.table4()),
+    ("Figure 5", lambda nsteps: figures.fig5(nsteps=nsteps)),
+    ("Table V", lambda nsteps: tables.table5(nsteps=nsteps)),
+    ("Table VI", lambda nsteps: tables.table6(nsteps=nsteps)),
+    ("Table VII", lambda nsteps: tables.table7(nsteps=nsteps)),
+    ("Figures 6-8", lambda nsteps: figures.fig678(nsteps=nsteps)),
+    ("Figure 9", lambda nsteps: figures.fig9(nsteps=nsteps)),
+    ("Figure 10", lambda nsteps: figures.fig10(nsteps=nsteps)),
+)
+
+
+def full_report(nsteps: int = 10, progress=None) -> str:
+    """Regenerate the complete evaluation.
+
+    ``progress`` (optional) is called with a status line before each
+    section — the CLI passes ``print``.
+    """
+    banner = (
+        "Reproduction of 'A Preliminary Port and Evaluation of the Uintah "
+        "AMT Runtime\non Sunway TaihuLight' (IPDPS Workshops 2018) — full "
+        f"evaluation, {nsteps} timesteps/case.\n"
+        "All times are simulated Sunway time from the calibrated model; "
+        "see EXPERIMENTS.md."
+    )
+    parts = [banner]
+    for title, fn in SECTIONS:
+        if progress is not None:
+            progress(f"[report] generating {title} ...")
+        t0 = _time.perf_counter()
+        body = fn(nsteps)
+        elapsed = _time.perf_counter() - t0
+        if progress is not None:
+            progress(f"[report] {title} done in {elapsed:.1f}s")
+        parts.append(body)
+    return "\n\n\n".join(parts) + "\n"

@@ -1,0 +1,44 @@
+"""Fixed-width text rendering for the regenerated tables and figures."""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+def render_table(
+    title: str,
+    headers: _t.Sequence[str],
+    rows: _t.Sequence[_t.Sequence[object]],
+) -> str:
+    """Render an aligned text table with a title rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    for n, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if n == 0:
+            lines.append("-" * len(lines[-1]))
+    return "\n".join(lines)
+
+
+def pct(x: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string, e.g. 0.317 -> '31.7%'."""
+    return f"{x * 100:.{digits}f}%"
+
+
+def seconds(x: float) -> str:
+    """Format simulated seconds with sensible units."""
+    if x >= 1.0:
+        return f"{x:.3f}s"
+    if x >= 1e-3:
+        return f"{x * 1e3:.2f}ms"
+    return f"{x * 1e6:.1f}us"
+
+
+def mem(nbytes: int) -> str:
+    """Format bytes in binary units like the paper's Table III."""
+    for unit, size in (("GB", 1024**3), ("MB", 1024**2), ("KB", 1024)):
+        if nbytes >= size:
+            v = nbytes / size
+            return f"{v:.0f}{unit}" if v == int(v) else f"{v:.1f}{unit}"
+    return f"{nbytes}B"

@@ -1,0 +1,13 @@
+"""Data archive (UDA-style) output and restart.
+
+Uintah persists simulation state in "UDA" archives — a directory with an
+index plus per-timestep, per-patch variable data — and can restart a run
+from any archived timestep.  :mod:`repro.io.uda` provides the same
+capability for this runtime: checkpoints written from a
+:class:`~repro.core.controller.RunResult` and restart task graphs that
+reload them, with bit-exact continuation (tested).
+"""
+
+from repro.io.uda import UdaArchive, save_checkpoint, load_checkpoint, restart_tasks
+
+__all__ = ["UdaArchive", "save_checkpoint", "load_checkpoint", "restart_tasks"]

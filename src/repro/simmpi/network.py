@@ -1,0 +1,228 @@
+"""The simulated interconnect fabric.
+
+Models the Sunway proprietary network at the level the paper's evaluation
+depends on: per-message cost ``software overhead + latency + bytes /
+bandwidth`` charged once both sides of a point-to-point transfer have
+posted, FIFO matching per ``(source, dest, tag)`` channel, eager-protocol
+send completion for small messages, and tree-shaped collectives.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import math
+import typing as _t
+
+from repro.des import Simulator
+from repro.simmpi.request import SendRequest, RecvRequest, CollectiveRequest
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricConfig:
+    """Interconnect cost parameters.
+
+    Defaults follow Table II of the paper (16 GB/s bidirectional P2P,
+    ~1 us latency) plus an MPI software overhead per message, which on
+    Sunway's MPI is several microseconds.
+    """
+
+    #: Point-to-point bandwidth, bytes/s.
+    bandwidth: float = 16e9
+    #: Wire latency, seconds.
+    latency: float = 1e-6
+    #: MPI software overhead per message (matching, headers), seconds.
+    sw_overhead: float = 6e-6
+    #: Messages at or below this size complete the *send* side eagerly
+    #: (buffered) at post time + overhead; larger sends complete with the
+    #: transfer (rendezvous-like).
+    eager_threshold: int = 32 * 1024
+    #: Model per-rank NIC contention: concurrent transfers touching the
+    #: same rank serialize their bandwidth phase through its NIC.  Off by
+    #: default (the paper's runs never saturate the 16 GB/s links; the
+    #: calibrated evaluation keeps the simpler model).
+    serialize_nic: bool = False
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds on the wire for an ``nbytes`` message."""
+        return self.sw_overhead + self.latency + nbytes / self.bandwidth
+
+    def allreduce_time(self, num_ranks: int, nbytes: int = 8) -> float:
+        """Seconds for a tree allreduce (reduce + broadcast) of ``nbytes``."""
+        if num_ranks <= 1:
+            return 0.0
+        hops = 2 * math.ceil(math.log2(num_ranks))
+        return hops * (self.sw_overhead + self.latency + nbytes / self.bandwidth)
+
+
+class _Channel:
+    """FIFO matching queue for one (source, dest, tag) triple."""
+
+    __slots__ = ("sends", "recvs")
+
+    def __init__(self) -> None:
+        self.sends: collections.deque = collections.deque()
+        self.recvs: collections.deque = collections.deque()
+
+
+class Fabric:
+    """The interconnect shared by all ranks of one simulated job.
+
+    Ranks interact through their :class:`~repro.simmpi.comm.Comm`; the
+    fabric performs matching, charges costs, and fires request events at
+    the right simulated times.
+    """
+
+    def __init__(self, sim: Simulator, num_ranks: int, config: FabricConfig | None = None):
+        if num_ranks < 1:
+            raise ValueError(f"need >= 1 rank, got {num_ranks}")
+        self.sim = sim
+        self.num_ranks = num_ranks
+        self.config = config or FabricConfig()
+        self._channels: dict[tuple[int, int, int], _Channel] = {}
+        self._collectives: dict[tuple[str, int], list] = {}
+        self._finished_collectives: set[tuple[str, int]] = set()
+        #: Per-rank NIC availability time (serialize_nic mode).
+        self._nic_free: list[float] = [0.0] * num_ranks
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- point to point -------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")
+
+    def _channel(self, source: int, dest: int, tag: int) -> _Channel:
+        key = (source, dest, tag)
+        chan = self._channels.get(key)
+        if chan is None:
+            chan = self._channels[key] = _Channel()
+        return chan
+
+    def post_send(
+        self, source: int, dest: int, tag: int, nbytes: int, payload: object = None
+    ) -> SendRequest:
+        """Register a non-blocking send; returns its request."""
+        self._check_rank(source)
+        self._check_rank(dest)
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        req = SendRequest(self.sim, dest, tag, nbytes, source=source)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if source == dest:
+            # Self-messages short-circuit through memory: cheap but not free.
+            req.event.succeed(None, delay=0.0)
+            self._deliver_local(source, dest, tag, payload)
+            return req
+        chan = self._channel(source, dest, tag)
+        entry = {"req": req, "payload": payload, "posted": self.sim.now}
+        if chan.recvs:
+            self._match(entry, chan.recvs.popleft())
+        else:
+            chan.sends.append(entry)
+            if nbytes <= self.config.eager_threshold:
+                # Eager protocol: the send buffer is copied out immediately.
+                req.event.succeed(None, delay=self.config.sw_overhead)
+        return req
+
+    def post_recv(self, source: int, dest: int, tag: int) -> RecvRequest:
+        """Register a non-blocking receive; returns its request."""
+        self._check_rank(source)
+        self._check_rank(dest)
+        req = RecvRequest(self.sim, source, tag)
+        if source == dest:
+            chan = self._channel(source, dest, tag)
+            if chan.sends:
+                entry = chan.sends.popleft()
+                req.event.succeed(entry["payload"], delay=0.0)
+            else:
+                chan.recvs.append({"req": req, "posted": self.sim.now})
+            return req
+        chan = self._channel(source, dest, tag)
+        if chan.sends:
+            self._match(chan.sends.popleft(), {"req": req, "posted": self.sim.now})
+        else:
+            chan.recvs.append({"req": req, "posted": self.sim.now})
+        return req
+
+    def _deliver_local(self, source: int, dest: int, tag: int, payload: object) -> None:
+        chan = self._channel(source, dest, tag)
+        if chan.recvs:
+            entry = chan.recvs.popleft()
+            entry["req"].event.succeed(payload, delay=0.0)
+        else:
+            chan.sends.append({"payload": payload, "posted": self.sim.now})
+
+    def _match(self, send_entry: dict, recv_entry: dict) -> None:
+        send_req: SendRequest = send_entry["req"]
+        recv_req: RecvRequest = recv_entry["req"]
+        # Transfer runs once both sides are posted (match happens "now").
+        if self.config.serialize_nic:
+            now = self.sim.now
+            src, dst = self._nic_lookup(send_req)
+            start = max(now, self._nic_free[src], self._nic_free[dst])
+            occupancy = send_req.nbytes / self.config.bandwidth
+            self._nic_free[src] = self._nic_free[dst] = start + occupancy
+            done_at = (
+                start + occupancy + self.config.sw_overhead + self.config.latency
+            )
+            done_in = done_at - now
+        else:
+            done_in = self.config.transfer_time(send_req.nbytes)
+        recv_req.event.succeed(send_entry["payload"], delay=done_in)
+        if not send_req.event.triggered:  # large message: rendezvous completion
+            send_req.event.succeed(None, delay=done_in)
+
+    def _nic_lookup(self, send_req: SendRequest) -> tuple[int, int]:
+        """Source and destination ranks of a matched send."""
+        return send_req.source, send_req.dest
+
+    # -- collectives -------------------------------------------------------------
+    def post_allreduce(
+        self,
+        rank: int,
+        epoch: int,
+        value: float,
+        op: _t.Callable[[float, float], float],
+    ) -> CollectiveRequest:
+        """Register one rank's contribution to allreduce ``epoch``.
+
+        All ranks must call with the same epoch (the communicator numbers
+        them); the result fires on every rank at the same simulated time,
+        reduced deterministically in rank order.
+        """
+        req = CollectiveRequest(self.sim, "iallreduce", epoch)
+        key = ("allreduce", epoch)
+        if key in self._finished_collectives:
+            raise RuntimeError(f"allreduce epoch {epoch} already completed (over-posted)")
+        entries = self._collectives.setdefault(key, [])
+        entries.append((rank, value, op, req))
+        if len(entries) == self.num_ranks:
+            self._finished_collectives.add(key)
+            entries.sort(key=lambda e: e[0])
+            acc = entries[0][1]
+            the_op = entries[0][2]
+            for _, v, _, _ in entries[1:]:
+                acc = the_op(acc, v)
+            delay = self.config.allreduce_time(self.num_ranks)
+            for _, _, _, r in entries:
+                r.event.succeed(acc, delay=delay)
+            del self._collectives[key]
+        return req
+
+    def post_barrier(self, rank: int, epoch: int) -> CollectiveRequest:
+        """Register one rank's arrival at barrier ``epoch``."""
+        req = CollectiveRequest(self.sim, "ibarrier", epoch)
+        key = ("barrier", epoch)
+        if key in self._finished_collectives:
+            raise RuntimeError(f"barrier epoch {epoch} already completed (over-posted)")
+        entries = self._collectives.setdefault(key, [])
+        entries.append(req)
+        if len(entries) == self.num_ranks:
+            self._finished_collectives.add(key)
+            delay = self.config.allreduce_time(self.num_ranks, nbytes=0)
+            for r in entries:
+                r.event.succeed(None, delay=delay)
+            del self._collectives[key]
+        return req

@@ -1,0 +1,202 @@
+"""The ``athread`` offload interface on the discrete-event simulator.
+
+On Sunway, the MPE starts a group of lightweight threads (one per CPE)
+running a kernel function, and monitors progress through an atomically
+incremented word in main memory (the ``faaw`` instruction) — the paper's
+scheduler "sets up a completion flag in the main memory just before
+offloading a kernel ... the kernel will update the flag when it finishes"
+(Sec. V-B).  This module models exactly that contract:
+
+* :class:`CompletionFlag` — the shared word; ``faaw`` increments it and
+  wakes DES waiters, ``value`` is what the MPE polls.
+* :class:`AthreadRuntime` — one per core-group; :meth:`spawn` launches a
+  kernel on the CPE cluster (or on a sub-group, for the CPE-grouping
+  extension), charging a launch latency and the cluster execution time,
+  then bumps the flag.  Only one kernel may run per group at a time, as
+  with real ``athread_spawn``/``athread_join``.
+* :class:`OffloadHandle` — what the scheduler holds: a ``done`` property
+  to poll (async mode) and a DES event to block on (sync mode).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.des import Simulator
+from repro.des.event import Event
+from repro.sunway.config import CoreGroupConfig
+
+
+class CompletionFlag:
+    """An atomically-updated counter in main memory.
+
+    Mirrors the 4/8-byte ``faaw`` target the paper's scheduler uses.  The
+    MPE reads :attr:`value`; DES processes can also obtain an event that
+    fires when the counter reaches a target, which lets the synchronous
+    scheduler "spin" without burning simulator events.
+    """
+
+    def __init__(self, sim: Simulator, initial: int = 0):
+        self.sim = sim
+        self._value = int(initial)
+        self._waiters: list[tuple[int, Event]] = []
+
+    @property
+    def value(self) -> int:
+        """Current counter value (what a plain MPE load would see)."""
+        return self._value
+
+    def clear(self) -> None:
+        """Reset to zero (scheduler step 3(b)iv: 'clear the completion flag')."""
+        self._value = 0
+
+    def faaw(self, increment: int = 1) -> int:
+        """Fetch-and-add-word: atomically add and return the old value."""
+        old = self._value
+        self._value += int(increment)
+        still_waiting = []
+        for target, ev in self._waiters:
+            if self._value >= target and not ev.triggered:
+                ev.succeed(self._value)
+            else:
+                still_waiting.append((target, ev))
+        self._waiters = still_waiting
+        return old
+
+    def reached(self, target: int) -> Event:
+        """DES event firing when the counter reaches ``target``."""
+        ev = self.sim.event(name=f"flag>={target}")
+        if self._value >= target:
+            ev.succeed(self._value)
+        else:
+            self._waiters.append((target, ev))
+        return ev
+
+
+@dataclasses.dataclass
+class OffloadHandle:
+    """A kernel in flight on (a group of) the CPE cluster."""
+
+    name: str
+    group: int
+    flag: CompletionFlag
+    #: Fires when the kernel finishes (flag has been bumped).
+    event: Event
+    #: Simulated seconds the cluster will spend (launch + execution).
+    duration: float
+    #: Arbitrary scheduler payload (e.g. the detailed task).
+    payload: object = None
+
+    @property
+    def done(self) -> bool:
+        """Non-blocking completion check — the MPE's flag poll."""
+        return self.event.triggered
+
+
+class AthreadRuntime:
+    """Offload engine of one core-group.
+
+    Parameters
+    ----------
+    sim:
+        The simulator this CG lives on.
+    config:
+        Architectural parameters (CPE count, used for grouping checks).
+    launch_latency:
+        Seconds from ``spawn`` until the CPEs begin executing (athread
+        spawn + argument marshalling; "lightweight due to the
+        shared-memory design").
+    num_groups:
+        1 for the paper's configuration (whole-cluster offload).  >1
+        enables the future-work CPE-grouping extension: each group is an
+        independent offload engine with ``num_cpes / num_groups`` CPEs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: CoreGroupConfig | None = None,
+        launch_latency: float = 15e-6,
+        num_groups: int = 1,
+    ):
+        self.sim = sim
+        self.config = config or CoreGroupConfig()
+        if launch_latency < 0:
+            raise ValueError(f"launch latency must be >= 0, got {launch_latency}")
+        if num_groups < 1 or self.config.num_cpes % num_groups:
+            raise ValueError(
+                f"num_groups must divide {self.config.num_cpes} CPEs, got {num_groups}"
+            )
+        self.launch_latency = launch_latency
+        self.num_groups = num_groups
+        self._busy: dict[int, OffloadHandle | None] = {g: None for g in range(num_groups)}
+        self._spawn_count = 0
+
+    @property
+    def cpes_per_group(self) -> int:
+        """CPEs available to each offload group."""
+        return self.config.num_cpes // self.num_groups
+
+    def busy(self, group: int = 0) -> bool:
+        """Whether ``group`` currently has a kernel in flight."""
+        handle = self._busy[group]
+        return handle is not None and not handle.done
+
+    def spawn(
+        self,
+        duration: float,
+        payload: object = None,
+        on_complete: _t.Callable[[], None] | None = None,
+        group: int = 0,
+        name: str | None = None,
+        flag: CompletionFlag | None = None,
+    ) -> OffloadHandle:
+        """Launch a kernel of ``duration`` cluster-seconds on ``group``.
+
+        ``duration`` is the cluster execution time computed by the cost
+        model (:meth:`CoreRates.cluster_kernel_time`); the handle's flag
+        is bumped ``launch_latency + duration`` simulated seconds from
+        now.  ``on_complete`` (if given) runs at completion time — the
+        real-numerics mode applies the kernel's data effects there, so
+        data becomes visible exactly when the hardware would publish it.
+
+        Raises
+        ------
+        RuntimeError
+            If the group already has a kernel in flight (real ``athread``
+            requires a join before the next spawn).
+        """
+        if group not in self._busy:
+            raise ValueError(f"no such CPE group {group} (have {self.num_groups})")
+        if self.busy(group):
+            raise RuntimeError(f"CPE group {group} is busy; join the running kernel first")
+        if duration < 0:
+            raise ValueError(f"kernel duration must be >= 0, got {duration}")
+
+        self._spawn_count += 1
+        flag = flag if flag is not None else CompletionFlag(self.sim)
+        handle = OffloadHandle(
+            name=name or f"kernel{self._spawn_count}",
+            group=group,
+            flag=flag,
+            event=self.sim.event(name=f"offload:{name or self._spawn_count}"),
+            duration=self.launch_latency + duration,
+            payload=payload,
+        )
+        self._busy[group] = handle
+
+        def run(sim: Simulator):
+            yield sim.timeout(handle.duration)
+            if on_complete is not None:
+                on_complete()
+            flag.faaw(1)
+            handle.event.succeed(handle)
+
+        self.sim.process(run(self.sim), name=f"cpe-group{group}:{handle.name}")
+        return handle
+
+    @property
+    def spawn_count(self) -> int:
+        """Total kernels ever launched on this runtime."""
+        return self._spawn_count

@@ -1,0 +1,93 @@
+"""The Sunway OpenACC offload interface — and why the paper rejects it.
+
+Paper Sec. IV-B: "On a single computing node, OpenACC is supported to
+allow the offload of computations to the cluster of CPEs ... However,
+the Sunway OpenACC interface does not expose all the features of SW26010
+and the current implementation does not support OpenACC runtime
+functions such as ``acc_async_test``.  For this reason a more low-level
+athreads interface is used here."
+
+This facade models exactly that contract on top of the same simulated
+CPE cluster: kernels can be launched (``parallel``) and joined
+(``acc_wait``), but the non-blocking completion probe the asynchronous
+scheduler needs is **absent** — :func:`acc_async_test` raises
+``NotImplementedError``, as on the 2017 Sunway toolchain.  A scheduler
+written against this interface can only ever be synchronous, which is
+the architectural reason Sec. V builds on ``athread`` instead.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.des import Simulator
+from repro.sunway.athread import AthreadRuntime, OffloadHandle
+from repro.sunway.config import CoreGroupConfig
+
+
+class AccRegion:
+    """A launched OpenACC parallel region (an opaque async handle)."""
+
+    def __init__(self, handle: OffloadHandle):
+        self._handle = handle
+
+    # No completion probe on purpose: see the module docstring.
+
+
+class SunwayOpenACC:
+    """The (limited) OpenACC runtime of one core-group.
+
+    Wraps the same simulated CPE cluster as
+    :class:`~repro.sunway.athread.AthreadRuntime`, exposing only what
+    Sunway's OpenACC implementation offered the paper's authors.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: CoreGroupConfig | None = None,
+        launch_latency: float = 25e-6,
+    ):
+        # OpenACC regions carry more launch overhead than raw athread
+        # (argument marshalling through the compiler runtime).
+        self._athread = AthreadRuntime(sim, config, launch_latency=launch_latency)
+        self.sim = sim
+        self._regions: list[AccRegion] = []
+
+    def parallel(
+        self,
+        duration: float,
+        on_complete: _t.Callable[[], None] | None = None,
+        name: str | None = None,
+    ) -> AccRegion:
+        """Launch a parallel region on the CPE cluster (``#pragma acc``)."""
+        region = AccRegion(
+            self._athread.spawn(duration, on_complete=on_complete, name=name)
+        )
+        self._regions.append(region)
+        return region
+
+    def acc_wait(self, region: AccRegion):
+        """Block until ``region`` completes (``acc_wait``).
+
+        DES usage: ``yield acc.acc_wait(region)``.
+        """
+        return region._handle.event
+
+    def acc_wait_all(self):
+        """Block until every launched region completes."""
+        events = [r._handle.event for r in self._regions]
+        return self.sim.all_of(events)
+
+    def acc_async_test(self, region: AccRegion) -> bool:
+        """Non-blocking completion probe — NOT available on Sunway.
+
+        The paper's stated reason for dropping OpenACC: without this
+        call, the MPE cannot poll a kernel and do other work meanwhile,
+        so no asynchronous scheduler can be built on this interface.
+        """
+        raise NotImplementedError(
+            "Sunway's OpenACC implementation does not support acc_async_test "
+            "(paper Sec. IV-B); use the athread interface for asynchronous "
+            "scheduling"
+        )

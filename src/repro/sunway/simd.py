@@ -1,0 +1,110 @@
+"""Behavioural emulation of SW26010's 256-bit SIMD intrinsics.
+
+The paper's Algorithm 2 vectorizes the Burgers kernel manually with
+4-wide double-precision intrinsics (``SIMD_LOADU``, ``SIMD_VMAD``,
+``SIMD_VMULD``, ...) because the Sunway toolchain has no auto-vectorizer.
+The vectorized kernel in :mod:`repro.burgers.kernel_simd` is written
+against this module, mirroring the structure of the paper's listing:
+an explicitly unrolled i-loop of width 4 operating on :class:`Vec4`
+values.
+
+This is a *behavioural* model: numerics are ordinary float64 NumPy, so
+the vectorized kernel produces bit-identical results to the scalar one
+(as on real hardware, where SW26010 vector lanes are IEEE doubles).  The
+*performance* effect of SIMD is modelled in
+:mod:`repro.sunway.corerates`; the *operation counts* of vector
+intrinsics are tracked per lane-group by the perf counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Vector width in doubles (256-bit registers).
+VECTOR_WIDTH = 4
+
+
+class Vec4:
+    """A 256-bit vector register of 4 doubles.
+
+    Immutable value semantics like a hardware register: every intrinsic
+    returns a fresh ``Vec4``.
+    """
+
+    __slots__ = ("lanes",)
+
+    def __init__(self, lanes):
+        arr = np.asarray(lanes, dtype=np.float64)
+        if arr.shape != (VECTOR_WIDTH,):
+            raise ValueError(f"Vec4 needs exactly {VECTOR_WIDTH} lanes, got shape {arr.shape}")
+        self.lanes = arr.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Vec4({self.lanes.tolist()})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Vec4) and bool(np.array_equal(self.lanes, other.lanes))
+
+    def __hash__(self):  # registers are mutable-ish values; keep unhashable
+        raise TypeError("Vec4 is unhashable")
+
+
+def simd_set(a: float, b: float, c: float, d: float) -> Vec4:
+    """Build a vector from four scalars (the listing's ``SIMD_CMPLX``)."""
+    return Vec4([a, b, c, d])
+
+
+def simd_loade(scalar: float) -> Vec4:
+    """Broadcast-load a scalar into all four lanes (``SIMD_LOADE``)."""
+    return Vec4(np.full(VECTOR_WIDTH, float(scalar)))
+
+
+def simd_loadu(array: np.ndarray, offset: int) -> Vec4:
+    """Unaligned load of 4 consecutive doubles starting at ``offset``.
+
+    ``array`` must be 1-D (a row of the tile in the x direction, which is
+    the vectorized direction in the paper).
+    """
+    if array.ndim != 1:
+        raise ValueError(f"SIMD_LOADU needs a 1-D row, got ndim={array.ndim}")
+    if offset < 0 or offset + VECTOR_WIDTH > array.shape[0]:
+        raise IndexError(
+            f"SIMD_LOADU out of bounds: offset {offset} + {VECTOR_WIDTH} > {array.shape[0]}"
+        )
+    return Vec4(array[offset : offset + VECTOR_WIDTH])
+
+
+def simd_storeu(array: np.ndarray, offset: int, value: Vec4) -> None:
+    """Unaligned store of 4 consecutive doubles starting at ``offset``."""
+    if array.ndim != 1:
+        raise ValueError(f"SIMD_STOREU needs a 1-D row, got ndim={array.ndim}")
+    if offset < 0 or offset + VECTOR_WIDTH > array.shape[0]:
+        raise IndexError(
+            f"SIMD_STOREU out of bounds: offset {offset} + {VECTOR_WIDTH} > {array.shape[0]}"
+        )
+    array[offset : offset + VECTOR_WIDTH] = value.lanes
+
+
+def simd_vadd(a: Vec4, b: Vec4) -> Vec4:
+    """Lane-wise add."""
+    return Vec4(a.lanes + b.lanes)
+
+
+def simd_vsub(a: Vec4, b: Vec4) -> Vec4:
+    """Lane-wise subtract."""
+    return Vec4(a.lanes - b.lanes)
+
+
+def simd_vmuld(a: Vec4, b: Vec4) -> Vec4:
+    """Lane-wise multiply."""
+    return Vec4(a.lanes * b.lanes)
+
+
+def simd_vmad(a: Vec4, b: Vec4, c: Vec4) -> Vec4:
+    """Fused multiply-add: ``a*b + c`` (one instruction on SW26010)."""
+    return Vec4(a.lanes * b.lanes + c.lanes)
+
+
+def simd_vdiv(a: Vec4, b: Vec4) -> Vec4:
+    """Lane-wise divide (counted as one op by the SW26010 counters)."""
+    return Vec4(a.lanes / b.lanes)

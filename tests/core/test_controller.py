@@ -1,0 +1,154 @@
+"""Tests for the simulation controller itself."""
+
+import pytest
+
+from repro.burgers import BurgersProblem
+from repro.core.controller import SimulationController
+from repro.core.grid import Grid
+from repro.core.task import Task, TaskKind
+from repro.core.varlabel import VarLabel
+
+
+def make_controller(real=True, mode="async", num_ranks=2, trace=False, grid=None, **kw):
+    grid = grid or Grid(extent=(16, 16, 16), layout=(2, 2, 2))
+    prob = BurgersProblem(grid)
+    return grid, prob, SimulationController(
+        grid, prob.tasks(), prob.init_tasks(),
+        num_ranks=num_ranks, mode=mode, real=real, trace_enabled=trace, **kw,
+    )
+
+
+def test_model_mode_times_equal_real_mode_times():
+    """Real numerics add zero *virtual* time: the performance model and
+    the real execution follow the identical schedule."""
+    _, prob, ctl_real = make_controller(real=True)
+    _, _, ctl_model = make_controller(real=False)
+    dt = prob.stable_dt()
+    r = ctl_real.run(nsteps=3, dt=dt)
+    m = ctl_model.run(nsteps=3, dt=dt)
+    assert r.time_per_step == m.time_per_step
+    assert r.step_times == m.step_times
+    assert r.stats.kernels_offloaded == m.stats.kernels_offloaded
+    assert r.stats.messages_sent == m.stats.messages_sent
+
+
+def test_step_times_sum_to_total():
+    _, prob, ctl = make_controller()
+    res = ctl.run(nsteps=4, dt=prob.stable_dt())
+    assert sum(res.step_times) == pytest.approx(res.total_time)
+    assert len(res.step_times) == 4
+    assert all(t > 0 for t in res.step_times)
+
+
+def test_nsteps_validation():
+    _, prob, ctl = make_controller()
+    with pytest.raises(ValueError):
+        ctl.run(nsteps=0, dt=1e-3)
+
+
+def test_init_with_ghost_requirements_rejected():
+    grid = Grid(extent=(8, 8, 8), layout=(2, 2, 2))
+    prob = BurgersProblem(grid)
+    bad_init = Task("init", kind=TaskKind.MPE, action=lambda ctx: None)
+    bad_init.requires_(VarLabel("u"), dw="old", ghosts=1)
+    bad_init.computes_(VarLabel("u"))
+    with pytest.raises(ValueError, match="must not require ghost"):
+        SimulationController(grid, prob.tasks(), [bad_init], num_ranks=2)
+
+
+def test_flops_per_step_counts_kernels():
+    _, prob, ctl = make_controller(num_ranks=1)
+    res = ctl.run(nsteps=2, dt=prob.stable_dt())
+    # 16^3 cells x 311 flops per step (fast_exp=False still counts via
+    # the cost model's fast_exp default True)
+    assert res.flops_per_step == pytest.approx(16**3 * 311)
+
+
+def test_gflops_zero_guard():
+    from repro.core.controller import RunResult
+    from repro.core.schedulers.base import SchedulerStats
+    from repro.core.trace import Tracer
+
+    r = RunResult(
+        num_ranks=1, nsteps=1, total_time=0.0, time_per_step=0.0, step_times=[0.0],
+        stats=SchedulerStats(), rank_stats=[], flops_per_step=0.0,
+        messages_sent=0, bytes_sent=0, final_dws=[], trace=Tracer(False), sim_time=0.0,
+    )
+    assert r.gflops == 0.0
+
+
+def test_params_reach_task_context():
+    grid = Grid(extent=(8, 8, 8), layout=(1, 1, 1))
+    seen = {}
+
+    u = VarLabel("u")
+
+    def init_action(ctx):
+        ctx.new_dw.allocate_and_put(u, ctx.patch, ghosts=1)
+
+    def advance(ctx):
+        seen.update(ctx.params)
+        var = ctx.new_dw.allocate_and_put(u, ctx.patch, ghosts=1)
+        var.interior[...] = 0.0
+
+    init = Task("init", kind=TaskKind.MPE, action=init_action)
+    init.computes_(u)
+    from repro.sunway.corerates import KernelCost
+
+    adv = Task("advance", kind=TaskKind.CPE_KERNEL, action=advance,
+               kernel_cost=KernelCost(stencil_flops=1, exp_calls=0))
+    adv.requires_(u, dw="old", ghosts=0).computes_(u)
+
+    ctl = SimulationController(
+        grid, [adv], [init], num_ranks=1, real=True, params={"viscosity": 0.01}
+    )
+    ctl.run(nsteps=1, dt=1e-3)
+    assert seen == {"viscosity": 0.01}
+
+
+def test_trace_disabled_by_default():
+    _, prob, ctl = make_controller(trace=False)
+    res = ctl.run(nsteps=1, dt=prob.stable_dt())
+    assert res.trace.spans == []
+
+
+def test_rank_stats_per_rank():
+    _, prob, ctl = make_controller(num_ranks=4)
+    res = ctl.run(nsteps=2, dt=prob.stable_dt())
+    assert len(res.rank_stats) == 4
+    total = sum(s.kernels_offloaded for s in res.rank_stats)
+    assert total == res.stats.kernels_offloaded == 2 * 8
+
+
+def test_custom_balancer_changes_assignment():
+    _, prob, ctl_sfc = make_controller(balancer="sfc", num_ranks=4)
+    _, _, ctl_rr = make_controller(balancer="roundrobin", num_ranks=4)
+    assert ctl_sfc.assignment != ctl_rr.assignment
+
+
+def test_noise_reproducible_per_seed():
+    """Same seed -> identical noisy timings; different seed -> different."""
+    from repro.core.noise import NoiseModel
+
+    def run_with(seed):
+        _, prob, ctl = make_controller(
+            real=False,
+            scheduler_kwargs={"noise": NoiseModel(seed=seed, kernel_cv=0.15, mpe_cv=0.1)},
+        )
+        return ctl.run(nsteps=2, dt=1e-3).time_per_step
+
+    assert run_with(3) == run_with(3)
+    assert run_with(3) != run_with(4)
+
+
+def test_noise_only_slows_down():
+    from repro.core.noise import NoiseModel
+
+    _, prob, quiet_ctl = make_controller(real=False)
+    quiet = quiet_ctl.run(nsteps=2, dt=1e-3).time_per_step
+    _, _, noisy_ctl = make_controller(
+        real=False,
+        scheduler_kwargs={"noise": NoiseModel(seed=1, kernel_cv=0.3, mpe_cv=0.3)},
+    )
+    noisy = noisy_ctl.run(nsteps=2, dt=1e-3).time_per_step
+    assert noisy > quiet

@@ -1,0 +1,171 @@
+"""Tests for graph export/analysis and weighted load balancing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import networkx as nx
+
+from repro.core.graphtools import critical_path, graph_stats, to_dot, to_networkx
+from repro.core.grid import Grid
+from repro.core.loadbalancer import LoadBalancer
+from repro.core.task import Task, TaskKind
+from repro.core.taskgraph import TaskGraph
+from repro.core.varlabel import VarLabel
+from repro.sunway.corerates import KernelCost
+
+U, V, NORM = VarLabel("u"), VarLabel("v"), VarLabel("n", vartype="reduction")
+COST = KernelCost(stencil_flops=10, exp_calls=0)
+
+
+def chain_graph(num_ranks=2):
+    """advance -> smooth -> norm: a three-stage graph."""
+    t1 = Task("advance", kind=TaskKind.CPE_KERNEL, kernel_cost=COST)
+    t1.requires_(U, dw="old", ghosts=1).computes_(U)
+    t2 = Task("smooth", kind=TaskKind.CPE_KERNEL, kernel_cost=COST)
+    t2.requires_(U, dw="new", ghosts=1).computes_(V)
+    t3 = Task("norm", kind=TaskKind.REDUCTION, reduction_op=max)
+    t3.requires_(V, dw="new").computes_(NORM)
+    grid = Grid(extent=(8, 8, 8), layout=(2, 2, 2))
+    assignment = LoadBalancer("sfc").assign(grid, num_ranks)
+    return TaskGraph(grid, [t1, t2, t3], assignment, num_ranks), grid
+
+
+# -- dot export -------------------------------------------------------------------
+
+def test_dot_contains_every_task_and_rank_cluster():
+    graph, _ = chain_graph()
+    dot = to_dot(graph)
+    assert dot.startswith("digraph")
+    for dt in graph.detailed_tasks:
+        assert f"dt{dt.dt_id}" in dot
+    assert "cluster_rank0" in dot and "cluster_rank1" in dot
+    assert "->" in dot
+
+
+def test_dot_truncation():
+    graph, _ = chain_graph()
+    dot = to_dot(graph, max_tasks=3)
+    assert dot.count("label=") <= 3 + graph.num_ranks + 1  # nodes + cluster labels
+
+
+def test_dot_marks_messages_dashed_or_dotted():
+    graph, _ = chain_graph()
+    dot = to_dot(graph)
+    assert "style=dashed" in dot or "style=dotted" in dot
+
+
+# -- critical path ------------------------------------------------------------------
+
+def test_critical_path_of_chain():
+    graph, _ = chain_graph(num_ranks=1)
+    cp = critical_path(graph)
+    names = [dt.task.name for dt in cp.tasks]
+    # longest hop chain: advance (x8 converge on smooth?) -> smooth -> norm
+    assert names[0] == "advance"
+    assert names[-1] == "norm"
+    assert cp.length == 3.0
+
+
+def test_critical_path_weighted():
+    graph, _ = chain_graph(num_ranks=1)
+    cp = critical_path(graph, weight=lambda dt: 5.0 if dt.task.name == "smooth" else 1.0)
+    assert cp.length == 7.0
+
+
+def test_critical_path_empty_graph():
+    grid = Grid(extent=(4, 4, 4))
+    graph = TaskGraph(grid, [], {0: 0}, 1)
+    assert critical_path(graph).length == 0.0
+
+
+# -- stats / networkx ---------------------------------------------------------------
+
+def test_graph_stats_consistency():
+    graph, _ = chain_graph(num_ranks=2)
+    stats = graph_stats(graph)
+    assert stats["detailed_tasks"] == len(graph.detailed_tasks)
+    assert sum(stats["per_rank_tasks"]) == stats["detailed_tasks"]
+    assert sum(stats["per_rank_recvs"]) == stats["messages"]
+    assert sum(stats["per_rank_sends"]) == stats["messages"]
+    assert stats["message_bytes"] == sum(m.nbytes for m in graph.messages)
+
+
+def test_networkx_agrees_its_a_dag():
+    graph, _ = chain_graph()
+    g = to_networkx(graph)
+    assert nx.is_directed_acyclic_graph(g)
+    assert g.number_of_nodes() == len(graph.detailed_tasks)
+    # networkx longest path (hop count) matches ours
+    ours = critical_path(graph).length
+    theirs = nx.dag_longest_path_length(g) + 1  # edges -> nodes
+    assert ours == theirs
+
+
+# -- weighted load balancing -------------------------------------------------------------
+
+GRID = Grid(extent=(16, 16, 16), layout=(4, 4, 2))
+
+
+def test_weighted_balancing_evens_out_cost():
+    """One heavy corner (AMR-style refinement hotspot): weighted cuts
+    give much better balance than count-based cuts."""
+    weights = {}
+    for p in GRID.patches():
+        hot = p.index[0] < 2 and p.index[1] < 2
+        weights[p.patch_id] = 10.0 if hot else 1.0
+
+    lb = LoadBalancer("sfc")
+    unweighted = lb.assign(GRID, 4)
+    weighted = lb.assign(GRID, 4, weights=weights)
+
+    def imbalance(assignment):
+        load = [0.0] * 4
+        for pid, r in assignment.items():
+            load[r] += weights[pid]
+        return max(load) / (sum(load) / 4)
+
+    assert imbalance(weighted) < imbalance(unweighted)
+    assert imbalance(weighted) < 1.5
+
+
+def test_weighted_covers_all_patches_and_ranks():
+    weights = {p.patch_id: float(1 + p.patch_id % 7) for p in GRID.patches()}
+    assignment = LoadBalancer("block").assign(GRID, 8, weights=weights)
+    assert set(assignment) == {p.patch_id for p in GRID.patches()}
+    assert set(assignment.values()) == set(range(8))
+
+
+def test_weighted_validation():
+    lb = LoadBalancer("sfc")
+    with pytest.raises(ValueError, match="missing"):
+        lb.assign(GRID, 2, weights={0: 1.0})
+    bad = {p.patch_id: 1.0 for p in GRID.patches()}
+    bad[3] = 0.0
+    with pytest.raises(ValueError, match="positive"):
+        lb.assign(GRID, 2, weights=bad)
+
+
+def test_uniform_weights_match_unweighted_counts():
+    lb = LoadBalancer("sfc")
+    uniform = {p.patch_id: 1.0 for p in GRID.patches()}
+    a = lb.assign(GRID, 4)
+    b = lb.assign(GRID, 4, weights=uniform)
+    counts_a = LoadBalancer.load_counts(a, 4)
+    counts_b = LoadBalancer.load_counts(b, 4)
+    assert counts_a == counts_b == [8, 8, 8, 8]
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    num_ranks=st.integers(1, 16),
+    seed=st.integers(0, 10_000),
+)
+def test_property_weighted_every_rank_nonempty(num_ranks, seed):
+    import random
+
+    rng = random.Random(seed)
+    weights = {p.patch_id: rng.uniform(0.1, 10.0) for p in GRID.patches()}
+    assignment = LoadBalancer("sfc").assign(GRID, num_ranks, weights=weights)
+    counts = LoadBalancer.load_counts(assignment, num_ranks)
+    assert all(c >= 1 for c in counts)
+    assert sum(counts) == GRID.num_patches

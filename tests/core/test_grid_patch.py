@@ -1,0 +1,169 @@
+"""Tests for grid, patches, regions and neighbour topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.grid import Grid
+from repro.core.patch import Patch, Region, FACES
+
+
+# -- Region -------------------------------------------------------------------
+
+def test_region_extent_and_cells():
+    r = Region((0, 0, 0), (4, 5, 6))
+    assert r.extent == (4, 5, 6)
+    assert r.num_cells == 120
+    assert not r.empty
+
+
+def test_region_inverted_rejected():
+    with pytest.raises(ValueError):
+        Region((0, 0, 5), (1, 1, 4))
+
+
+def test_region_intersect():
+    a = Region((0, 0, 0), (4, 4, 4))
+    b = Region((2, 2, 2), (8, 8, 8))
+    c = a.intersect(b)
+    assert c.low == (2, 2, 2) and c.high == (4, 4, 4)
+    # disjoint -> empty
+    d = a.intersect(Region((10, 10, 10), (12, 12, 12)))
+    assert d.empty and d.num_cells == 0
+
+
+def test_region_grown():
+    r = Region((2, 2, 2), (4, 4, 4)).grown(1)
+    assert r.low == (1, 1, 1) and r.high == (5, 5, 5)
+    with pytest.raises(ValueError):
+        Region((0, 0, 0), (1, 1, 1)).grown(-1)
+
+
+def test_region_contains_and_cells_iter():
+    r = Region((0, 0, 0), (2, 2, 1))
+    assert r.contains((1, 1, 0))
+    assert not r.contains((2, 0, 0))
+    assert len(list(r.cells())) == 4
+
+
+# -- Grid geometry ----------------------------------------------------------------
+
+def test_grid_spacing_and_centers():
+    g = Grid(extent=(10, 10, 10))
+    assert g.spacing == (0.1, 0.1, 0.1)
+    assert g.cell_center((0, 0, 0)) == pytest.approx((0.05, 0.05, 0.05))
+    assert g.cell_center((9, 9, 9)) == pytest.approx((0.95, 0.95, 0.95))
+
+
+def test_grid_layout_must_divide():
+    with pytest.raises(ValueError):
+        Grid(extent=(10, 10, 10), layout=(3, 1, 1))
+    with pytest.raises(ValueError):
+        Grid(extent=(0, 4, 4))
+    with pytest.raises(ValueError):
+        Grid(extent=(4, 4, 4), domain_high=(0.0, 1.0, 1.0))
+
+
+def test_paper_grid_dimensions():
+    """Table III largest problem: 1024^3 grid, 8x8x2 layout, 128 patches."""
+    g = Grid(extent=(1024, 1024, 1024), layout=(8, 8, 2))
+    assert g.num_patches == 128
+    assert g.patch_extent == (128, 128, 512)
+    assert g.num_cells == 1024**3
+
+
+def test_patch_ids_cover_all_uniquely():
+    g = Grid(extent=(8, 8, 8), layout=(2, 2, 2))
+    ids = [p.patch_id for p in g.patches()]
+    assert ids == list(range(8))
+
+
+def test_patch_regions_partition_grid():
+    g = Grid(extent=(8, 12, 4), layout=(2, 3, 1))
+    total = sum(p.num_cells for p in g.patches())
+    assert total == g.num_cells
+    # disjointness: pairwise empty intersections
+    ps = g.patches()
+    for i, a in enumerate(ps):
+        for b in ps[i + 1:]:
+            assert a.region.intersect(b.region).empty
+
+
+def test_neighbors_and_boundaries():
+    g = Grid(extent=(8, 8, 8), layout=(2, 2, 2))
+    corner = g.patch((0, 0, 0))
+    assert g.neighbor(corner, 0, -1) is None
+    nb = g.neighbor(corner, 0, +1)
+    assert nb is not None and nb.index == (1, 0, 0)
+    assert len(g.face_neighbors(corner)) == 3
+    assert len(g.boundary_faces(corner)) == 3
+
+
+def test_face_and_ghost_regions_are_adjacent():
+    g = Grid(extent=(8, 8, 8), layout=(2, 1, 1))
+    left, right = g.patch((0, 0, 0)), g.patch((1, 0, 0))
+    # right patch's low-x ghost region == left patch's high-x face region
+    assert right.ghost_region(0, -1) == left.face_region(0, +1)
+    assert left.ghost_region(0, +1) == right.face_region(0, -1)
+
+
+def test_surface_cells():
+    g = Grid(extent=(8, 8, 8), layout=(2, 2, 2))
+    p = g.patch((0, 0, 0))  # 4x4x4 patch
+    assert p.surface_cells == 4**3 - 2**3
+
+
+def test_memory_bytes_matches_table3():
+    """Table III Mem column: 2 fields x grid cells x 8 B, binary units."""
+    g = Grid(extent=(128, 128, 1024), layout=(8, 8, 2))
+    assert g.memory_bytes(fields=2, ghosts=0) == 256 * 1024**2
+    g = Grid(extent=(1024, 1024, 1024), layout=(8, 8, 2))
+    assert g.memory_bytes(fields=2, ghosts=0) == 16 * 1024**3
+
+
+@given(
+    st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)),
+    st.tuples(st.integers(1, 3), st.integers(1, 3), st.integers(1, 3)),
+)
+def test_property_patch_neighbor_symmetry(mult, layout):
+    """If q is p's (+axis) neighbour then p is q's (-axis) neighbour."""
+    extent = tuple(m * l * 2 for m, l in zip(mult, layout))
+    g = Grid(extent=extent, layout=layout)
+    for p in g.patches():
+        for axis, side in FACES:
+            q = g.neighbor(p, axis, side)
+            if q is not None:
+                assert g.neighbor(q, axis, -side).patch_id == p.patch_id
+
+
+@given(
+    low=st.tuples(st.integers(-20, 20), st.integers(-20, 20), st.integers(-20, 20)),
+    size=st.tuples(st.integers(0, 12), st.integers(0, 12), st.integers(0, 12)),
+    other_low=st.tuples(st.integers(-20, 20), st.integers(-20, 20), st.integers(-20, 20)),
+    other_size=st.tuples(st.integers(0, 12), st.integers(0, 12), st.integers(0, 12)),
+)
+def test_property_region_intersection_laws(low, size, other_low, other_size):
+    """Intersection is commutative, contained in both, and idempotent."""
+    a = Region(low, tuple(l + s for l, s in zip(low, size)))
+    b = Region(other_low, tuple(l + s for l, s in zip(other_low, other_size)))
+    ab, ba = a.intersect(b), b.intersect(a)
+    assert ab.num_cells == ba.num_cells
+    if not ab.empty:
+        assert ab.low == ba.low and ab.high == ba.high
+        for axis in range(3):
+            assert a.low[axis] <= ab.low[axis] and ab.high[axis] <= a.high[axis]
+            assert b.low[axis] <= ab.low[axis] and ab.high[axis] <= b.high[axis]
+        again = ab.intersect(a)
+        assert again.low == ab.low and again.high == ab.high
+
+
+@given(
+    ghosts=st.integers(0, 3),
+    size=st.tuples(st.integers(1, 10), st.integers(1, 10), st.integers(1, 10)),
+)
+def test_property_grown_region_cell_count(ghosts, size):
+    r = Region((0, 0, 0), size)
+    g = r.grown(ghosts)
+    expect = 1
+    for s in size:
+        expect *= s + 2 * ghosts
+    assert g.num_cells == expect

@@ -1,0 +1,93 @@
+"""Tests for static-field forwarding across the data-warehouse swap.
+
+A coefficient field computed once at initialization and *required* (but
+never recomputed) by every timestep is a standard Uintah pattern; the
+controller forwards such variables from old to new warehouses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import SimulationController
+from repro.core.grid import Grid
+from repro.core.task import Task, TaskContext, TaskKind
+from repro.core.varlabel import VarLabel
+from repro.sunway.corerates import KernelCost
+
+U = VarLabel("u")
+KAPPA = VarLabel("kappa")  # the static coefficient field
+COST = KernelCost(stencil_flops=5, exp_calls=0)
+
+
+def build_problem():
+    def init_action(ctx: TaskContext) -> None:
+        u = ctx.new_dw.allocate_and_put(U, ctx.patch, ghosts=1)
+        u.interior[...] = 1.0
+        kappa = ctx.new_dw.allocate_and_put(KAPPA, ctx.patch, ghosts=1)
+        kappa.interior[...] = 0.5 + 0.1 * ctx.patch.patch_id
+
+    def advance(ctx: TaskContext) -> None:
+        u_old = ctx.old_dw.get(U, ctx.patch)
+        kappa = ctx.old_dw.get(KAPPA, ctx.patch)
+        u_new = ctx.new_dw.allocate_and_put(U, ctx.patch, ghosts=1)
+        u_new.interior[...] = (
+            u_old.data[1:-1, 1:-1, 1:-1] * kappa.data[1:-1, 1:-1, 1:-1]
+        )
+
+    init = Task("init", kind=TaskKind.MPE, action=init_action)
+    init.computes_(U).computes_(KAPPA)
+    adv = Task("advance", kind=TaskKind.CPE_KERNEL, action=advance, kernel_cost=COST)
+    adv.requires_(U, dw="old", ghosts=0)
+    adv.requires_(KAPPA, dw="old", ghosts=0)  # static: nobody recomputes it
+    adv.computes_(U)
+    return [adv], [init]
+
+
+def run(num_ranks=2, nsteps=3, mode="async"):
+    grid = Grid(extent=(8, 8, 8), layout=(2, 2, 2))
+    tasks, init = build_problem()
+    ctl = SimulationController(
+        grid, tasks, init, num_ranks=num_ranks, mode=mode, real=True
+    )
+    assert ctl._static_labels == ["kappa"]
+    return ctl.run(nsteps=nsteps, dt=1e-3)
+
+
+def test_static_field_survives_many_steps():
+    res = run(nsteps=4)
+    for dw in res.final_dws:
+        for var in dw.grid_variables():
+            if var.label.name == "u":
+                k = 0.5 + 0.1 * var.patch.patch_id
+                assert np.allclose(var.interior, k**4)
+            if var.label.name == "kappa":
+                assert np.allclose(
+                    var.interior, 0.5 + 0.1 * var.patch.patch_id
+                )
+
+
+def test_static_field_distribution_invariance():
+    ref = {
+        (v.label.name, v.patch.patch_id): v.interior.copy()
+        for dw in run(1).final_dws
+        for v in dw.grid_variables()
+    }
+    for num_ranks, mode in [(4, "sync"), (2, "mpe_only")]:
+        got = {
+            (v.label.name, v.patch.patch_id): v.interior.copy()
+            for dw in run(num_ranks, mode=mode).final_dws
+            for v in dw.grid_variables()
+        }
+        for key in ref:
+            assert np.array_equal(ref[key], got[key]), key
+
+
+def test_no_static_labels_for_burgers():
+    from repro.burgers import BurgersProblem
+
+    grid = Grid(extent=(8, 8, 8), layout=(2, 2, 2))
+    prob = BurgersProblem(grid)
+    ctl = SimulationController(
+        grid, prob.tasks(), prob.init_tasks(), num_ranks=1, real=True
+    )
+    assert ctl._static_labels == []

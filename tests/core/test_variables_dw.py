@@ -1,0 +1,155 @@
+"""Tests for grid variables (ghosted storage) and the data warehouses."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.datawarehouse import DataWarehouse
+from repro.core.patch import Region
+from repro.core.variables import CCVariable
+from repro.core.varlabel import VarLabel
+
+
+U = VarLabel("u")
+NORM = VarLabel("norm", vartype="reduction")
+
+
+def make_patch():
+    return Grid(extent=(8, 8, 8), layout=(2, 2, 2)).patch((0, 0, 0))
+
+
+# -- VarLabel ---------------------------------------------------------------
+
+def test_varlabel_validation():
+    with pytest.raises(ValueError):
+        VarLabel("")
+    with pytest.raises(ValueError):
+        VarLabel("x", vartype="nodal")
+    assert NORM.is_reduction and not U.is_reduction
+    assert str(U) == "u"
+
+
+# -- CCVariable ---------------------------------------------------------------
+
+def test_variable_shape_includes_ghosts():
+    var = CCVariable(U, make_patch(), ghosts=1)
+    assert var.data.shape == (6, 6, 6)
+    assert var.data.flags.f_contiguous  # x is the fast axis
+
+
+def test_variable_interior_view_writes_through():
+    var = CCVariable(U, make_patch(), ghosts=1)
+    var.interior[...] = 7.0
+    assert var.data[1:-1, 1:-1, 1:-1].min() == 7.0
+    assert var.data[0, 0, 0] == 0.0  # ghosts untouched
+
+
+def test_variable_region_views_use_global_indices():
+    patch = make_patch()  # cells (0..4)^3
+    var = CCVariable(U, patch, ghosts=1)
+    var.region_view(Region((0, 0, 0), (1, 1, 1)))[...] = 3.0
+    assert var.data[1, 1, 1] == 3.0
+    # ghost cell at (-1, 0, 0)
+    var.region_view(Region((-1, 0, 0), (0, 1, 1)))[...] = 9.0
+    assert var.data[0, 1, 1] == 9.0
+
+
+def test_variable_region_out_of_bounds():
+    var = CCVariable(U, make_patch(), ghosts=1)
+    with pytest.raises(IndexError):
+        var.region_view(Region((-2, 0, 0), (0, 1, 1)))
+    with pytest.raises(IndexError):
+        var.region_view(Region((0, 0, 0), (6, 1, 1)))
+
+
+def test_pack_unpack_roundtrip():
+    patch = make_patch()
+    src = CCVariable(U, patch, ghosts=1)
+    src.interior[...] = np.arange(64, dtype=float).reshape(4, 4, 4)
+    region = patch.face_region(0, +1)
+    packed = src.get_region(region)
+    assert packed.flags.c_contiguous
+
+    dst = CCVariable(U, patch, ghosts=1)
+    dst.set_region(region, packed)
+    assert np.array_equal(dst.get_region(region), packed)
+
+
+def test_unpack_shape_mismatch_rejected():
+    patch = make_patch()
+    var = CCVariable(U, patch, ghosts=1)
+    with pytest.raises(ValueError):
+        var.set_region(patch.face_region(0, 1), np.zeros((2, 2, 2)))
+
+
+def test_variable_rejects_reduction_label_and_negative_ghosts():
+    with pytest.raises(TypeError):
+        CCVariable(NORM, make_patch())
+    with pytest.raises(ValueError):
+        CCVariable(U, make_patch(), ghosts=-1)
+
+
+def test_variable_copy_is_deep():
+    var = CCVariable(U, make_patch())
+    var.interior[...] = 1.0
+    dup = var.copy()
+    dup.interior[...] = 2.0
+    assert var.interior.max() == 1.0
+
+
+# -- DataWarehouse ----------------------------------------------------------------
+
+def test_dw_put_get_roundtrip():
+    patch = make_patch()
+    dw = DataWarehouse(step=1)
+    var = dw.allocate_and_put(U, patch, ghosts=1)
+    assert dw.get(U, patch) is var
+    assert dw.exists(U, patch)
+
+
+def test_dw_single_assignment():
+    patch = make_patch()
+    dw = DataWarehouse(step=1)
+    dw.allocate_and_put(U, patch)
+    with pytest.raises(KeyError, match="single-assignment"):
+        dw.allocate_and_put(U, patch)
+
+
+def test_dw_missing_variable_message():
+    dw = DataWarehouse(step=3, rank=2)
+    with pytest.raises(KeyError, match="not in DW step 3"):
+        dw.get(U, make_patch())
+
+
+def test_dw_scrub():
+    patch = make_patch()
+    dw = DataWarehouse(step=1)
+    dw.allocate_and_put(U, patch)
+    dw.scrub(U, patch)
+    assert not dw.exists(U, patch)
+    dw.scrub(U, patch)  # idempotent
+
+
+def test_dw_reductions():
+    dw = DataWarehouse(step=1)
+    dw.put_reduction(NORM, 4.5)
+    assert dw.get_reduction(NORM) == 4.5
+    assert dw.has_reduction(NORM)
+    dw.put_reduction(NORM, 5.0)  # reductions may be overwritten
+    assert dw.get_reduction(NORM) == 5.0
+    with pytest.raises(TypeError):
+        dw.put_reduction(U, 1.0)
+    with pytest.raises(TypeError):
+        dw.get_reduction(U)
+    with pytest.raises(KeyError):
+        dw.get_reduction(VarLabel("other", vartype="reduction"))
+
+
+def test_dw_inventory_deterministic():
+    g = Grid(extent=(8, 8, 8), layout=(2, 2, 2))
+    dw = DataWarehouse(step=0)
+    for p in reversed(g.patches()):
+        dw.allocate_and_put(U, p)
+    ids = [v.patch.patch_id for v in dw.grid_variables()]
+    assert ids == sorted(ids)
+    assert len(dw) == 8

@@ -1,0 +1,136 @@
+"""Unit tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.des import Simulator, Resource, Store
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = []
+
+    def proc(sim, res, tag):
+        req = res.request()
+        yield req
+        grants.append((tag, sim.now))
+        yield sim.timeout(1)
+        req.release()
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(sim, res, tag))
+    sim.run()
+    assert grants == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_fifo_queue():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def proc(sim, res, tag, hold):
+        req = res.request()
+        yield req
+        order.append(tag)
+        yield sim.timeout(hold)
+        req.release()
+
+    for tag in range(5):
+        sim.process(proc(sim, res, tag, hold=1))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_counts():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert res.count == 1 and res.queue_length == 1
+    sim.run()
+    r1.release()
+    assert res.count == 1 and res.queue_length == 0
+    r2.release()
+    assert res.count == 0
+
+
+def test_release_without_hold_is_error():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    res.request()
+    stranger = res.request()  # queued, not granted
+    with pytest.raises(RuntimeError):
+        res.release(stranger)
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("msg1")
+    store.put("msg2")
+
+    def proc(sim, store):
+        a = yield store.get()
+        b = yield store.get()
+        return [a, b]
+
+    p = sim.process(proc(sim, store))
+    sim.run()
+    assert p.value == ["msg1", "msg2"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def getter(sim, store):
+        item = yield store.get()
+        return (item, sim.now)
+
+    def putter(sim, store):
+        yield sim.timeout(4)
+        store.put("late")
+
+    p = sim.process(getter(sim, store))
+    sim.process(putter(sim, store))
+    sim.run()
+    assert p.value == ("late", 4.0)
+
+
+def test_store_try_get_nonblocking():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put(7)
+    assert len(store) == 1
+    assert store.try_get() == 7
+    assert store.try_get() is None
+
+
+def test_store_multiple_getters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    results = []
+
+    def getter(sim, store, tag):
+        item = yield store.get()
+        results.append((tag, item))
+
+    for tag in ("g1", "g2"):
+        sim.process(getter(sim, store, tag))
+
+    def putter(sim, store):
+        yield sim.timeout(1)
+        store.put("first")
+        yield sim.timeout(1)
+        store.put("second")
+
+    sim.process(putter(sim, store))
+    sim.run()
+    assert results == [("g1", "first"), ("g2", "second")]

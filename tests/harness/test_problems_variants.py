@@ -1,0 +1,110 @@
+"""Tests for the Table III problem suite and Table IV variants."""
+
+import pytest
+
+from repro.harness.problems import (
+    CG_COUNTS,
+    PATCH_LAYOUT,
+    PROBLEMS,
+    ProblemSetting,
+    problem_by_name,
+    small_medium_large,
+)
+from repro.harness.variants import ACCELERATED, VARIANTS, Variant, variant_by_name
+
+
+# -- problems (Table III) -----------------------------------------------------------
+
+def test_seven_problems_in_paper_order():
+    names = [p.name for p in PROBLEMS]
+    assert names == [
+        "16x16x512", "16x32x512", "32x32x512", "32x64x512",
+        "64x64x512", "64x128x512", "128x128x512",
+    ]
+
+
+def test_grid_sizes_match_table3():
+    assert problem_by_name("16x16x512").grid_extent == (128, 128, 1024)
+    assert problem_by_name("32x64x512").grid_extent == (256, 512, 1024)
+    assert problem_by_name("128x128x512").grid_extent == (1024, 1024, 1024)
+
+
+def test_memory_column_matches_table3():
+    expect = {
+        "16x16x512": 256 * 1024**2,
+        "16x32x512": 512 * 1024**2,
+        "32x32x512": 1024**3,
+        "32x64x512": 2 * 1024**3,
+        "64x64x512": 4 * 1024**3,
+        "64x128x512": 8 * 1024**3,
+        "128x128x512": 16 * 1024**3,
+    }
+    for p in PROBLEMS:
+        assert p.memory_bytes == expect[p.name], p.name
+
+
+def test_min_cgs_column_matches_table3():
+    """Including the paper's crash-driven 2-CG minimum for 64x64x512."""
+    expect = {
+        "16x16x512": 1, "16x32x512": 1, "32x32x512": 1, "32x64x512": 1,
+        "64x64x512": 2, "64x128x512": 4, "128x128x512": 8,
+    }
+    for p in PROBLEMS:
+        assert p.min_cgs == expect[p.name], p.name
+
+
+def test_cg_counts_sweep():
+    assert problem_by_name("16x16x512").cg_counts() == list(CG_COUNTS)
+    assert problem_by_name("128x128x512").cg_counts() == [8, 16, 32, 64, 128]
+
+
+def test_patch_layout_is_8x8x2():
+    assert PATCH_LAYOUT == (8, 8, 2)
+    assert all(p.grid().num_patches == 128 for p in PROBLEMS)
+
+
+def test_grids_divide_evenly():
+    for p in PROBLEMS:
+        assert p.grid().patch_extent == p.patch_extent
+
+
+def test_problem_lookup_errors():
+    with pytest.raises(KeyError):
+        problem_by_name("7x7x7")
+
+
+def test_small_medium_large_selection():
+    s, m, l = small_medium_large()
+    assert (s.name, m.name, l.name) == ("16x16x512", "32x64x512", "128x128x512")
+
+
+# -- variants (Table IV) ---------------------------------------------------------------
+
+def test_five_variants():
+    assert set(VARIANTS) == {
+        "host.sync", "acc.sync", "acc_simd.sync", "acc.async", "acc_simd.async",
+    }
+
+
+def test_variant_axes_match_table4():
+    v = variant_by_name("host.sync")
+    assert (v.mode, v.tiling, v.simd) == ("mpe_only", False, False)
+    v = variant_by_name("acc_simd.async")
+    assert (v.mode, v.tiling, v.simd) == ("async", True, True)
+    assert variant_by_name("acc.sync").scheduler_label == "synchronous MPE+CPE"
+    assert variant_by_name("acc.async").scheduler_label == "asynchronous MPE+CPE"
+    assert variant_by_name("host.sync").scheduler_label == "MPE-only"
+
+
+def test_accelerated_subset():
+    assert set(ACCELERATED) == set(VARIANTS) - {"host.sync"}
+
+
+def test_variant_cost_models_reflect_flags():
+    assert variant_by_name("acc_simd.sync").cost_model().simd is True
+    assert variant_by_name("acc.sync").cost_model().simd is False
+
+
+def test_variant_lookup_errors():
+    with pytest.raises(KeyError):
+        variant_by_name("gpu.async")

@@ -1,0 +1,112 @@
+"""Property tests for the simulated MPI fabric."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.des import Simulator
+from repro.simmpi import Comm, Fabric, FabricConfig
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["send", "recv"]),
+            st.integers(0, 2),       # source / sender rank
+            st.integers(0, 2),       # dest / receiver rank
+            st.integers(0, 2),       # tag
+            st.integers(0, 100_000), # nbytes (sends only)
+        ),
+        max_size=40,
+    )
+)
+def test_property_matched_pairs_deliver_fifo(ops):
+    """Whatever the posting order, matched (src,dst,tag) traffic arrives
+    complete and in FIFO order per channel."""
+    sim = Simulator()
+    fabric = Fabric(sim, 3)
+    comms = [Comm(fabric, r) for r in range(3)]
+    sent: dict[tuple, list] = {}
+    recvs: dict[tuple, list] = {}
+    seq = 0
+    for op, a, b, tag, nbytes in ops:
+        key = (a, b, tag)
+        if op == "send":
+            comms[a].isend(dest=b, tag=tag, nbytes=nbytes, payload=("m", key, seq))
+            sent.setdefault(key, []).append(("m", key, seq))
+            seq += 1
+        else:
+            recvs.setdefault(key, []).append(comms[b].irecv(source=a, tag=tag))
+    sim.run()
+    for key, reqs in recvs.items():
+        expected = sent.get(key, [])
+        matched = min(len(reqs), len(expected))
+        # the first `matched` receives completed, in order
+        for i in range(matched):
+            assert reqs[i].complete
+            assert reqs[i].value == expected[i]
+        for req in reqs[matched:]:
+            assert not req.complete
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    send_delay=st.floats(0, 10),
+    recv_delay=st.floats(0, 10),
+    nbytes=st.integers(0, 10**6),
+)
+def test_property_completion_time_lower_bound(send_delay, recv_delay, nbytes):
+    """A receive never completes before both sides posted plus the wire
+    time — the fabric cannot teleport data."""
+    cfg = FabricConfig(bandwidth=1e9, latency=1e-6, sw_overhead=5e-6)
+    sim = Simulator()
+    fabric = Fabric(sim, 2, cfg)
+    c0, c1 = Comm(fabric, 0), Comm(fabric, 1)
+    done_at = []
+
+    def sender(sim):
+        yield sim.timeout(send_delay)
+        c0.isend(dest=1, tag=0, nbytes=nbytes)
+
+    def receiver(sim):
+        yield sim.timeout(recv_delay)
+        req = c1.irecv(source=0, tag=0)
+        yield req.event
+        done_at.append(sim.now)
+
+    sim.process(sender(sim))
+    sim.process(receiver(sim))
+    sim.run()
+    lower = max(send_delay, recv_delay) + cfg.transfer_time(nbytes)
+    assert done_at[0] >= lower - 1e-12
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    values=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+        min_size=2,
+        max_size=8,
+    ),
+    delays=st.data(),
+)
+def test_property_allreduce_order_independent(values, delays):
+    """The reduced value is independent of rank arrival order (the fabric
+    reduces in rank order deterministically)."""
+    n = len(values)
+    results = []
+    for permutation_seed in (0, 1):
+        sim = Simulator()
+        fabric = Fabric(sim, n)
+        comms = [Comm(fabric, r) for r in range(n)]
+        reqs = {}
+
+        def poster(sim, rank, delay):
+            yield sim.timeout(delay)
+            reqs[rank] = comms[rank].iallreduce(values[rank])
+
+        for r in range(n):
+            delay = (r if permutation_seed == 0 else n - r) * 0.5
+            sim.process(poster(sim, r, delay))
+        sim.run()
+        results.append(reqs[0].value)
+    assert results[0] == results[1]

@@ -1,0 +1,279 @@
+"""Tests for the simulated MPI fabric and communicators."""
+
+import operator
+
+import pytest
+
+from repro.des import Simulator
+from repro.simmpi import Fabric, FabricConfig, Comm
+from repro.simmpi.request import all_complete, completed_subset
+
+
+def make_world(num_ranks, **cfg):
+    sim = Simulator()
+    fabric = Fabric(sim, num_ranks, FabricConfig(**cfg) if cfg else None)
+    comms = [Comm(fabric, r) for r in range(num_ranks)]
+    return sim, fabric, comms
+
+
+# -- config ------------------------------------------------------------------
+
+def test_transfer_time_formula():
+    cfg = FabricConfig(bandwidth=1e9, latency=1e-6, sw_overhead=5e-6)
+    assert cfg.transfer_time(1000) == pytest.approx(6e-6 + 1e-6)
+
+
+def test_allreduce_time_scales_log2():
+    cfg = FabricConfig()
+    assert cfg.allreduce_time(1) == 0.0
+    t2, t128 = cfg.allreduce_time(2), cfg.allreduce_time(128)
+    assert t128 == pytest.approx(7 * t2)
+
+
+# -- point-to-point -----------------------------------------------------------
+
+def test_send_recv_delivers_payload():
+    sim, fabric, (c0, c1) = make_world(2)
+    c0.isend(dest=1, tag=7, nbytes=800, payload={"ghost": [1, 2, 3]})
+    r = c1.irecv(source=0, tag=7)
+    sim.run()
+    assert r.complete
+    assert r.value == {"ghost": [1, 2, 3]}
+
+
+def test_message_time_includes_bandwidth_term():
+    sim, fabric, (c0, c1) = make_world(2, bandwidth=1e6, latency=0.0, sw_overhead=0.0)
+    c0.isend(dest=1, tag=0, nbytes=1_000_000)
+    r = c1.irecv(source=0, tag=0)
+    sim.run(until=r.event)
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_transfer_starts_only_when_both_posted():
+    sim, fabric, (c0, c1) = make_world(2, bandwidth=1e9, latency=1e-6, sw_overhead=0.0)
+
+    def receiver(sim, c1, out):
+        yield sim.timeout(5.0)  # late recv post
+        r = c1.irecv(source=0, tag=0)
+        yield r.event
+        out.append(sim.now)
+
+    out = []
+    c0.isend(dest=1, tag=0, nbytes=1000)
+    sim.process(receiver(sim, c1, out))
+    sim.run()
+    assert out[0] == pytest.approx(5.0 + 1e-6 + 1000 / 1e9)
+
+
+def test_eager_send_completes_before_recv_posted():
+    sim, fabric, (c0, c1) = make_world(2)
+    s = c0.isend(dest=1, tag=0, nbytes=100)  # below eager threshold
+    sim.run()
+    assert s.complete
+
+
+def test_rendezvous_send_waits_for_receiver():
+    sim, fabric, (c0, c1) = make_world(2)
+    s = c0.isend(dest=1, tag=0, nbytes=10_000_000)  # above threshold
+    sim.run()
+    assert not s.complete
+    c1.irecv(source=0, tag=0)
+    sim.run()
+    assert s.complete
+
+
+def test_fifo_matching_per_channel():
+    sim, fabric, (c0, c1) = make_world(2)
+    c0.isend(dest=1, tag=3, nbytes=8, payload="first")
+    c0.isend(dest=1, tag=3, nbytes=8, payload="second")
+    r1 = c1.irecv(source=0, tag=3)
+    r2 = c1.irecv(source=0, tag=3)
+    sim.run()
+    assert (r1.value, r2.value) == ("first", "second")
+
+
+def test_tags_demultiplex():
+    sim, fabric, (c0, c1) = make_world(2)
+    c0.isend(dest=1, tag=1, nbytes=8, payload="one")
+    c0.isend(dest=1, tag=2, nbytes=8, payload="two")
+    r2 = c1.irecv(source=0, tag=2)
+    r1 = c1.irecv(source=0, tag=1)
+    sim.run()
+    assert r1.value == "one" and r2.value == "two"
+
+
+def test_self_message_roundtrip():
+    sim, fabric, (c0,) = make_world(1)
+    c0.isend(dest=0, tag=0, nbytes=64, payload="loop")
+    r = c0.irecv(source=0, tag=0)
+    sim.run()
+    assert r.value == "loop"
+
+
+def test_self_message_recv_first():
+    sim, fabric, (c0,) = make_world(1)
+    r = c0.irecv(source=0, tag=0)
+    c0.isend(dest=0, tag=0, nbytes=64, payload="loop")
+    sim.run()
+    assert r.value == "loop"
+
+
+def test_rank_validation():
+    sim, fabric, comms = make_world(2)
+    with pytest.raises(ValueError):
+        comms[0].isend(dest=5, tag=0, nbytes=1)
+    with pytest.raises(ValueError):
+        fabric.post_recv(source=-1, dest=0, tag=0)
+    with pytest.raises(ValueError):
+        comms[0].isend(dest=1, tag=0, nbytes=-1)
+    with pytest.raises(ValueError):
+        Comm(fabric, 9)
+    with pytest.raises(ValueError):
+        Fabric(sim, 0)
+
+
+def test_fabric_accounting():
+    sim, fabric, (c0, c1) = make_world(2)
+    c0.isend(dest=1, tag=0, nbytes=100)
+    c0.isend(dest=1, tag=1, nbytes=200)
+    assert fabric.messages_sent == 2
+    assert fabric.bytes_sent == 300
+
+
+def test_request_value_before_completion_is_error():
+    sim, fabric, (c0, c1) = make_world(2)
+    r = c1.irecv(source=0, tag=0)
+    with pytest.raises(RuntimeError):
+        _ = r.value
+
+
+# -- collectives ------------------------------------------------------------------
+
+def test_allreduce_sums_across_ranks():
+    sim, fabric, comms = make_world(4)
+    reqs = [c.iallreduce(float(c.rank + 1)) for c in comms]
+    sim.run()
+    assert all(r.value == 10.0 for r in reqs)
+
+
+def test_allreduce_min_op():
+    sim, fabric, comms = make_world(3)
+    reqs = [c.iallreduce(float(10 - c.rank), op=min) for c in comms]
+    sim.run()
+    assert all(r.value == 8.0 for r in reqs)
+
+
+def test_allreduce_completes_after_last_poster():
+    sim, fabric, comms = make_world(2, latency=1e-6, sw_overhead=0.0, bandwidth=1e9)
+
+    def late(sim, comm, out):
+        yield sim.timeout(2.0)
+        r = comm.iallreduce(1.0)
+        yield r.event
+        out.append(sim.now)
+
+    out = []
+    r0 = comms[0].iallreduce(1.0)
+    sim.process(late(sim, comms[1], out))
+    sim.run()
+    assert r0.complete
+    assert out[0] > 2.0
+
+
+def test_allreduce_single_rank_is_immediate_and_identity():
+    sim, fabric, (c0,) = make_world(1)
+    r = c0.iallreduce(3.25, op=operator.add)
+    sim.run()
+    assert r.value == 3.25
+
+
+def test_allreduce_epochs_keep_rounds_separate():
+    sim, fabric, comms = make_world(2)
+    first = [c.iallreduce(1.0) for c in comms]
+    second = [c.iallreduce(10.0) for c in comms]
+    sim.run()
+    assert all(r.value == 2.0 for r in first)
+    assert all(r.value == 20.0 for r in second)
+
+
+def test_allreduce_overposting_rejected():
+    sim, fabric, comms = make_world(2)
+    fabric.post_allreduce(0, epoch=0, value=1.0, op=operator.add)
+    fabric.post_allreduce(1, epoch=0, value=1.0, op=operator.add)
+    with pytest.raises(RuntimeError):
+        fabric.post_allreduce(0, epoch=0, value=1.0, op=operator.add)
+
+
+def test_barrier_releases_all_at_once():
+    sim, fabric, comms = make_world(3)
+    times = []
+
+    def proc(sim, comm, delay):
+        yield sim.timeout(delay)
+        yield comm.ibarrier().event
+        times.append(sim.now)
+
+    for comm, delay in zip(comms, (0.0, 1.0, 2.0)):
+        sim.process(proc(sim, comm, delay))
+    sim.run()
+    assert len(set(times)) == 1
+    assert times[0] >= 2.0
+
+
+# -- request helpers ------------------------------------------------------------------
+
+def test_testall_and_testsome():
+    sim, fabric, (c0, c1) = make_world(2)
+    c0.isend(dest=1, tag=0, nbytes=8, payload="x")
+    r_done = c1.irecv(source=0, tag=0)
+    r_pending = c1.irecv(source=0, tag=99)
+    sim.run()
+    assert not all_complete([r_done, r_pending])
+    assert completed_subset([r_done, r_pending]) == [r_done]
+    assert Comm.testall([r_done])
+
+
+# -- NIC serialization (link contention model) ---------------------------------------
+
+def test_nic_serialization_serializes_same_source():
+    """Two large concurrent transfers from one rank share its NIC."""
+    big = 1_000_000
+    times = {}
+    for serialize in (False, True):
+        sim, fabric, comms = make_world(
+            3, bandwidth=1e9, latency=0.0, sw_overhead=0.0, serialize_nic=serialize
+        )
+        comms[0].isend(dest=1, tag=0, nbytes=big)
+        comms[0].isend(dest=2, tag=0, nbytes=big)
+        r1 = comms[1].irecv(source=0, tag=0)
+        r2 = comms[2].irecv(source=0, tag=0)
+        sim.run()
+        assert r1.complete and r2.complete
+        times[serialize] = sim.now
+    assert times[False] == pytest.approx(1e-3)       # parallel links
+    assert times[True] == pytest.approx(2e-3)        # serialized NIC
+
+
+def test_nic_serialization_disjoint_pairs_stay_parallel():
+    sim, fabric, comms = make_world(
+        4, bandwidth=1e9, latency=0.0, sw_overhead=0.0, serialize_nic=True
+    )
+    comms[0].isend(dest=1, tag=0, nbytes=1_000_000)
+    comms[2].isend(dest=3, tag=0, nbytes=1_000_000)
+    comms[1].irecv(source=0, tag=0)
+    comms[3].irecv(source=2, tag=0)
+    sim.run()
+    assert sim.now == pytest.approx(1e-3)
+
+
+def test_nic_serialization_receiver_side_too():
+    """Two senders into one receiver serialize through its NIC."""
+    sim, fabric, comms = make_world(
+        3, bandwidth=1e9, latency=0.0, sw_overhead=0.0, serialize_nic=True
+    )
+    comms[0].isend(dest=2, tag=0, nbytes=1_000_000)
+    comms[1].isend(dest=2, tag=0, nbytes=1_000_000)
+    comms[2].irecv(source=0, tag=0)
+    comms[2].irecv(source=1, tag=0)
+    sim.run()
+    assert sim.now == pytest.approx(2e-3)

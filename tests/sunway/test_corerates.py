@@ -1,0 +1,96 @@
+"""Tests for the MPE/CPE throughput model."""
+
+import pytest
+
+from repro.sunway.corerates import CoreRates, KernelCost, TileWork
+from repro.sunway.dma import DMAEngine
+
+
+BURGERS = KernelCost(stencil_flops=95, exp_calls=6, bytes_read=8, bytes_written=8)
+
+
+def test_flops_per_cell_matches_paper():
+    """~311 flops/cell, ~215 of which from exponentials (Table I text)."""
+    assert BURGERS.flops_per_cell(fast_exp=True) == 95 + 216
+    assert BURGERS.flops_per_cell(fast_exp=True) == pytest.approx(311, abs=2)
+
+
+def test_arithmetic_intensity_matches_paper():
+    """Sec. III-A: ~19.4 flop/byte at 16 bytes/cell."""
+    assert BURGERS.arithmetic_intensity() == pytest.approx(19.4, abs=0.1)
+
+
+def test_ieee_exp_costs_more():
+    assert BURGERS.flops_per_cell(fast_exp=False) > BURGERS.flops_per_cell(fast_exp=True)
+
+
+def test_simd_speeds_up_compute():
+    rates = CoreRates()
+    scalar = rates.cpe_cell_compute_time(BURGERS, simd=False)
+    vec = rates.cpe_cell_compute_time(BURGERS, simd=True)
+    assert vec < scalar
+    # overall compute-only SIMD speedup between the exp-bound floor (2x)
+    # and the stencil ceiling (3.6x); observed totals land in 1.3-2.2x
+    # once DMA/overheads are added.
+    assert 2.0 < scalar / vec < 3.6
+
+
+def test_tile_time_includes_dma_and_compute():
+    rates = CoreRates(cpe_scalar_flops=1e9)
+    dma = DMAEngine(bandwidth=1e9, startup=0.0, chunk_penalty=0.0)
+    work = TileWork(cells=100, get_bytes=1000, get_chunks=1, put_bytes=500, put_chunks=1)
+    t = rates.tile_time(work, BURGERS, dma, simd=False)
+    expect = 1.5e-6 + 100 * 311 / 1e9
+    assert t == pytest.approx(expect)
+
+
+def test_cluster_time_is_worst_cpe():
+    rates = CoreRates(cpe_scalar_flops=1e9)
+    dma = DMAEngine(bandwidth=1e9, startup=0.0, chunk_penalty=0.0)
+    small = TileWork(cells=10, get_bytes=0, get_chunks=1, put_bytes=0, put_chunks=1)
+    big = TileWork(cells=1000, get_bytes=0, get_chunks=1, put_bytes=0, put_chunks=1)
+    t = rates.cluster_kernel_time([[small], [big], [small, small]], BURGERS, dma, simd=False)
+    assert t == pytest.approx(1000 * 311 / 1e9)
+
+
+def test_cluster_time_empty():
+    assert CoreRates().cluster_kernel_time([], BURGERS, DMAEngine(), simd=False) == 0.0
+
+
+def test_mpe_cache_model_small_patch_is_faster():
+    """Offload boost grows with patch size because the MPE baseline slows
+    down once three xy-planes fall out of L2 (Sec. VII-D mechanism)."""
+    rates = CoreRates()
+    small_plane = 16 * 16 * 8          # 2 KB: fully cached
+    large_plane = 128 * 128 * 8        # 131 KB: 3 planes ~ 393 KB > L2
+    assert rates.mpe_streaming_fraction(small_plane) == 0.0
+    assert rates.mpe_streaming_fraction(large_plane) == 1.0
+    assert rates.mpe_effective_flops(small_plane) > rates.mpe_effective_flops(large_plane)
+
+
+def test_mpe_streaming_fraction_ramps_monotonically():
+    rates = CoreRates()
+    fracs = [rates.mpe_streaming_fraction(b) for b in range(0, 800_000, 10_000)]
+    assert fracs == sorted(fracs)
+    assert fracs[0] == 0.0 and fracs[-1] == 1.0
+
+
+def test_mpe_kernel_time_scales_with_cells():
+    rates = CoreRates()
+    t1 = rates.mpe_kernel_time(1000, plane_bytes=2048, cost=BURGERS)
+    t2 = rates.mpe_kernel_time(2000, plane_bytes=2048, cost=BURGERS)
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_pack_remote_costs_more_than_local():
+    rates = CoreRates()
+    assert rates.pack_time(1000, remote=True) > rates.pack_time(1000, remote=False)
+
+
+def test_async_dma_tile_never_slower():
+    rates = CoreRates()
+    dma = DMAEngine()
+    work = TileWork(cells=2048, get_bytes=25920, get_chunks=180, put_bytes=16384, put_chunks=128)
+    sync = rates.tile_time(work, BURGERS, dma, simd=True)
+    asyn = rates.tile_time(work, BURGERS, dma, simd=True, async_dma=True)
+    assert asyn <= sync

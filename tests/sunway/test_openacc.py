@@ -1,0 +1,65 @@
+"""Tests for the OpenACC facade (the interface the paper rejected)."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.sunway.openacc import SunwayOpenACC
+
+
+def test_parallel_and_wait():
+    sim = Simulator()
+    acc = SunwayOpenACC(sim, launch_latency=1e-5)
+    done = []
+
+    def proc(sim, acc):
+        region = acc.parallel(duration=1e-3, on_complete=lambda: done.append(sim.now))
+        yield acc.acc_wait(region)
+        return sim.now
+
+    p = sim.process(proc(sim, acc))
+    sim.run()
+    assert p.value == pytest.approx(1e-3 + 1e-5)
+    assert done == [p.value]
+
+
+def test_wait_all():
+    sim = Simulator()
+    acc = SunwayOpenACC(sim, launch_latency=0.0)
+
+    def proc(sim, acc):
+        acc.parallel(duration=1e-3)
+        yield acc.acc_wait_all()
+        return sim.now
+
+    p = sim.process(proc(sim, acc))
+    sim.run()
+    assert p.value == pytest.approx(1e-3)
+
+
+def test_async_test_unsupported_as_on_sunway():
+    """The paper's reason for using athread instead: no acc_async_test."""
+    sim = Simulator()
+    acc = SunwayOpenACC(sim)
+    region = acc.parallel(duration=1.0)
+    with pytest.raises(NotImplementedError, match="acc_async_test"):
+        acc.acc_async_test(region)
+    sim.run()
+
+
+def test_openacc_launch_costlier_than_athread():
+    """The facade models OpenACC's heavier launch path."""
+    from repro.sunway.athread import AthreadRuntime
+
+    sim = Simulator()
+    acc = SunwayOpenACC(sim)
+    raw = AthreadRuntime(sim)
+    assert acc._athread.launch_latency > raw.launch_latency
+
+
+def test_region_exposes_no_completion_probe():
+    """AccRegion deliberately hides the handle's `done` (no polling API)."""
+    sim = Simulator()
+    acc = SunwayOpenACC(sim)
+    region = acc.parallel(duration=1.0)
+    assert not hasattr(region, "done")
+    sim.run()

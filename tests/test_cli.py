@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out and "Table III" in out and "Table IV" in out
+
+
+def test_table_1(capsys):
+    assert main(["table", "1"]) == 0
+    assert "FLOP per cell" in capsys.readouterr().out
+
+
+def test_table_unknown(capsys):
+    assert main(["table", "42"]) == 2
+    assert "no table" in capsys.readouterr().err
+
+
+def test_fig_unknown(capsys):
+    assert main(["fig", "11"]) == 2
+    assert "no figure" in capsys.readouterr().err
+
+
+def test_run_case(capsys):
+    code = main(
+        ["run", "--problem", "16x16x512", "--variant", "acc.async",
+         "--cgs", "4", "--nsteps", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "time/step" in out and "Gflop/s" in out
+
+
+def test_run_rejects_unknown_problem():
+    with pytest.raises(SystemExit):
+        main(["run", "--problem", "9x9x9"])
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "--problem", "16x16x512", "--variant", "acc.async",
+                 "--nsteps", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Strong scaling" in out
+    assert "128" in out
+
+
+def test_missing_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_report_to_file(tmp_path, capsys):
+    out = tmp_path / "report.txt"
+    assert main(["report", "--nsteps", "1", "--output", str(out)]) == 0
+    text = out.read_text()
+    for title in ("Table I", "Table V", "Fig. 9", "Fig. 10"):
+        assert title in text
+    err = capsys.readouterr().err
+    assert "generating" in err
