@@ -1,0 +1,82 @@
+"""Resilience machinery overhead when no faults fire.
+
+The fault-injection hooks live on hot paths — every offload, every
+matched message, every timestep boundary.  The design contract is that a
+run with the machinery *attached but silent* (injector with all
+probabilities zero, policy armed) costs **< 2 % extra host time** over a
+run with no injector at all, and produces bit-identical simulated time.
+This benchmark measures both and publishes the numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.burgers.component import BurgersProblem
+from repro.core.controller import SimulationController
+from repro.faults import FaultConfig, FaultInjector, ResiliencePolicy
+from repro.harness import calibration
+from repro.harness.problems import problem_by_name
+from repro.harness.reportfmt import pct, render_table, seconds
+
+
+def run_case(with_hooks: bool):
+    problem = problem_by_name("32x32x512")
+    grid = problem.grid()
+    burgers = BurgersProblem(grid)
+    kwargs = {}
+    if with_hooks:
+        kwargs["faults"] = FaultInjector(FaultConfig())
+        kwargs["resilience"] = ResiliencePolicy()
+    ctl = SimulationController(
+        grid, burgers.tasks(), burgers.init_tasks(),
+        num_ranks=8, mode="async", real=False,
+        cost_model=calibration.cost_model(),
+        fabric_config=calibration.FABRIC,
+        scheduler_kwargs=calibration.scheduler_kwargs(),
+        **kwargs,
+    )
+    t0 = time.perf_counter()
+    res = ctl.run(nsteps=5, dt=1e-5)
+    host = time.perf_counter() - t0
+    return res, host
+
+
+def measure(repeats: int = 5):
+    """Best-of-N host times for the silent-hooks and no-hooks runs."""
+    base = hooked = float("inf")
+    base_res = hook_res = None
+    for _ in range(repeats):
+        r, t = run_case(with_hooks=False)
+        if t < base:
+            base, base_res = t, r
+        r, t = run_case(with_hooks=True)
+        if t < hooked:
+            hooked, hook_res = t, r
+    return base, base_res, hooked, hook_res
+
+
+def test_bench_resilience_overhead(benchmark, publish):
+    base, base_res, hooked, hook_res = run_once(benchmark, measure)
+    overhead = hooked / base - 1.0
+    rows = [
+        ("host time, no injector (best of 5)", seconds(base)),
+        ("host time, silent injector + policy", seconds(hooked)),
+        ("host overhead", pct(overhead)),
+        ("target", "< 2%"),
+        ("simulated time, no injector", seconds(base_res.time_per_step)),
+        ("simulated time, silent injector", seconds(hook_res.time_per_step)),
+        (
+            "simulated times identical",
+            "yes" if base_res.time_per_step == hook_res.time_per_step else "NO",
+        ),
+    ]
+    publish(
+        "resilience_overhead",
+        render_table("Resilience hooks: fault-free overhead", ["Metric", "Value"], rows),
+    )
+    # bit-identical simulated schedule is a hard invariant; the host-time
+    # target is asserted loosely (CI machines are noisy)
+    assert base_res.time_per_step == hook_res.time_per_step
+    assert overhead < 0.10

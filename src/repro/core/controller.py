@@ -109,6 +109,8 @@ class SimulationController:
         scheduler_kwargs: dict | None = None,
         scheduler_factory: _t.Callable[..., SunwayScheduler] | None = None,
         memory_limit_bytes: int | None = None,
+        faults=None,
+        resilience=None,
     ):
         self.grid = grid
         self.num_ranks = num_ranks
@@ -117,8 +119,15 @@ class SimulationController:
         self.params = dict(params or {})
         self.costs = cost_model if cost_model is not None else SunwayCostModel()
 
+        #: Optional fault injector + resilience policy, threaded through
+        #: the fabric, the athread runtimes, and the timestep schedulers.
+        #: ``None`` keeps every fault-free code path byte-identical.
+        self.faults = faults
+        self.resilience = resilience
         self.sim = Simulator()
-        self.fabric = Fabric(self.sim, num_ranks, fabric_config)
+        self.fabric = Fabric(
+            self.sim, num_ranks, fabric_config, faults=faults, policy=resilience
+        )
         self.trace = Tracer(enabled=trace_enabled)
         self.assignment = LoadBalancer(balancer).assign(grid, num_ranks)
         self.graph = TaskGraph(grid, tasks, self.assignment, num_ranks)
@@ -160,6 +169,16 @@ class SimulationController:
             )
             for _ in range(num_ranks)
         ]
+        for r, at in enumerate(self.athreads):
+            at.faults = faults
+            at.rank = r
+        # Faults/resilience reach only the timestep schedulers (the init
+        # graph builds the pre-failure state and stays clean); kwargs are
+        # withheld entirely when unset so third-party factories without
+        # these parameters keep working.
+        if faults is not None or resilience is not None:
+            sched_kwargs["faults"] = faults
+            sched_kwargs["resilience"] = resilience
         self.schedulers = [
             factory(
                 self.sim,
@@ -175,6 +194,9 @@ class SimulationController:
             )
             for r in range(num_ranks)
         ]
+        sched_kwargs.pop("faults", None)
+        sched_kwargs.pop("resilience", None)
+        self._folded_retries = [0] * num_ranks
         self.init_schedulers = [
             factory(
                 self.sim,
@@ -252,11 +274,18 @@ class SimulationController:
         final_dws: list[DataWarehouse | None] = [None] * R
 
         def driver(rank: int):
+            # Kernel faults strike timesteps only: the init schedulers
+            # have no watchdog, so a stuck init kernel could never be
+            # recovered.  (Network faults stay on throughout — dropped
+            # messages are retransmitted at the fabric level regardless.)
+            at = self.athreads[rank]
+            at.faults = None
             dw0 = DataWarehouse(0, rank)
             yield from self.init_schedulers[rank].execute_timestep(
                 step=0, time=t0 + start_step * dt, dt_value=dt, old_dw=None, new_dw=dw0
             )
             yield self.comms[rank].ibarrier().event
+            at.faults = self.faults
             start_time[rank] = sim.now
             step_end[rank][0] = sim.now
             old = dw0
@@ -289,6 +318,15 @@ class SimulationController:
             cur = max(step_end[r][s] for r in range(R))
             steps.append(cur - prev[0])
             prev[0] = cur
+
+        # MPI retransmissions are counted by the fabric per sender rank;
+        # fold them into that rank's scheduler counters (delta-guarded so
+        # repeated run() calls never double-count).
+        for r in range(R):
+            delta = self.fabric.retries_by_rank[r] - self._folded_retries[r]
+            if delta:
+                self.schedulers[r].stats.mpi_retries += delta
+                self._folded_retries[r] = self.fabric.retries_by_rank[r]
 
         merged = SchedulerStats()
         for sched in self.schedulers:

@@ -33,6 +33,21 @@ class SchedulerStats:
     scrubbed: int = 0
     #: Counted kernel flops (perf-counter convention).
     kernel_flops: int = 0
+    # -- resilience counters (all zero in a fault-free run) ---------------
+    #: Offloaded kernels the completion-timeout watchdog gave up on.
+    kernel_timeouts: int = 0
+    #: Kernel re-offloads after a timeout or DMA error.
+    kernel_retries: int = 0
+    #: Kernels executed on the MPE after exhausting re-offload attempts.
+    mpe_fallbacks: int = 0
+    #: Retransmissions of dropped MPI messages (attributed to the sender).
+    mpi_retries: int = 0
+    #: Completed kernels slower than the policy's straggler threshold.
+    stragglers_detected: int = 0
+    #: Whole-rank failures recovered from a checkpoint (recovery runner).
+    rank_recoveries: int = 0
+    #: Timesteps re-executed because a failure discarded them.
+    steps_replayed: int = 0
 
     def merge(self, other: "SchedulerStats") -> None:
         """Fold another rank's counters into this one."""

@@ -32,11 +32,35 @@ observation that "smaller improvements are seen with the vectorized
 kernel than the non-vectorized kernel" (Sec. VII-C).  The synchronous
 mode's spinning MPE issues no bulk traffic, so its kernels run clean and
 its debt is structurally zero.
+
+Resilience
+----------
+With a :class:`~repro.faults.policies.ResiliencePolicy` attached the
+scheduler stops assuming a fault-free machine:
+
+* a completion-timeout **watchdog** aborts offload slots whose flag was
+  never bumped (hung CPE), re-offloads the kernel up to
+  ``max_offload_retries`` times and then executes it on the **MPE as a
+  fallback**;
+* kernels that complete *with an error* (simulated DMA fault) follow the
+  same re-offload/fallback path — their data effects were never
+  published, so re-execution is safe;
+* completed kernels slower than ``straggler_factor`` times their
+  cost-model estimate are counted as **stragglers** (and traced);
+* at each timestep boundary the attached
+  :class:`~repro.faults.injector.FaultInjector` may declare this rank
+  **failed**, aborting the run for checkpoint recovery
+  (:class:`~repro.faults.recovery.ResilientRunner`).
+
+All recovery work is traced under ``recover-*`` span names, and the
+counters land in :class:`~repro.core.schedulers.base.SchedulerStats` —
+structurally zero in a fault-free run.
 """
 
 from __future__ import annotations
 
 import collections
+import dataclasses
 import typing as _t
 
 from repro.core.datawarehouse import DataWarehouse
@@ -50,6 +74,20 @@ from repro.simmpi.comm import Comm
 from repro.sunway.athread import AthreadRuntime, CompletionFlag
 
 MODES = ("async", "sync", "mpe_only")
+
+
+@dataclasses.dataclass
+class _Flight:
+    """One offloaded kernel the scheduler is tracking."""
+
+    handle: object  # OffloadHandle
+    dt: DetailedTask
+    #: Fault-free duration estimate (launch + kernel), for straggler and
+    #: timeout thresholds.
+    expected: float
+    #: Watchdog deadline (inf when no policy / no hang risk).
+    deadline: float
+    t_launch: float
 
 
 class SunwayScheduler:
@@ -71,6 +109,8 @@ class SunwayScheduler:
         scrub: bool = True,
         select_policy: str = "fifo",
         noise=None,
+        faults=None,
+        resilience=None,
     ):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -96,6 +136,15 @@ class SunwayScheduler:
         self._overlap_busy = 0.0
         #: Cross-step sends still in flight from previous timesteps.
         self._carryover_sends: list = []
+        #: Fault injector and resilience policy (both optional; the
+        #: fault-free fast path must stay byte-identical to the seed).
+        self.faults = faults
+        self.policy = resilience
+        #: The watchdog only arms when a kernel can actually hang —
+        #: timeout events per wait iteration are not free.
+        self._watchdog = (
+            resilience is not None and faults is not None and faults.can_hang
+        )
         #: Scrub old-DW variables once their last consumer has read them.
         self.scrub = scrub
         #: Machine-noise stream (paper Sec. VII-A instabilities); quiet
@@ -171,6 +220,11 @@ class SunwayScheduler:
         posted by the previous timestep.
         """
         sim, graph, rank = self.sim, self.graph, self.rank
+        if self.faults is not None:
+            # Whole-rank failure strikes at timestep boundaries; the
+            # raised RankFailure propagates through the driver process
+            # and aborts Simulator.run for checkpoint recovery.
+            self.faults.on_step_begin(rank, step)
         local = graph.local_tasks(rank)
         tracker = ReadinessTracker(local, graph)
         remaining = {d.dt_id for d in local}
@@ -262,11 +316,16 @@ class SunwayScheduler:
         # single group (whole-cluster offload).  The CPE-grouping
         # extension (Sec. IX future work) runs several patches at once.
         num_groups = self.athread.num_groups if self.mode == "async" else 1
-        inflight: dict[int, tuple] = {}  # group -> (handle, detailed task)
+        inflight: dict[int, _Flight] = {}
         prepared: set[int] = set()  # dt_ids whose MPE part already ran
         pending_reductions: list[tuple[object, DetailedTask, float]] = []
         send_reqs: list = []
         flag = CompletionFlag(sim)
+        #: Failed offload attempts per task (resilience bookkeeping).
+        offload_failures: dict[int, int] = {}
+        #: Tasks whose useful flops were already counted (retries and
+        #: fallbacks must not double-count).
+        flops_counted: set[int] = set()
 
         # ---- work item execution ------------------------------------------------
         def apply_copy(spec: CopySpec) -> None:
@@ -357,6 +416,36 @@ class SunwayScheduler:
             ctx = self._ctx(dt.patch, old_dw, new_dw, time, dt_value, step)
             return lambda: dt.task.action(ctx)
 
+        def count_flops(dt: DetailedTask) -> None:
+            # useful work is counted once per task, however many times a
+            # fault forces it to be re-executed
+            if dt.dt_id not in flops_counted:
+                flops_counted.add(dt.dt_id)
+                self.stats.kernel_flops += self.costs.kernel_flops(dt.task, dt.patch)
+
+        def mpe_fallback(dt: DetailedTask) -> _t.Generator:
+            # last-resort execution on the management core: slow, but
+            # immune to CPE/DMA faults
+            action = kernel_action(dt)
+            if action is not None:
+                action()
+            yield from self._mpe(
+                f"recover-fallback:{dt.name}", self.costs.mpe_kernel_time(dt.task, dt.patch)
+            )
+            self.stats.mpe_fallbacks += 1
+            self.stats.kernels_on_mpe += 1
+            count_flops(dt)
+            finish_task(dt)
+
+        def requeue_or_fallback(dt: DetailedTask) -> _t.Generator:
+            failures = offload_failures.get(dt.dt_id, 0) + 1
+            offload_failures[dt.dt_id] = failures
+            if self.policy is not None and failures <= self.policy.max_offload_retries:
+                self.stats.kernel_retries += 1
+                tracker.ready.insert(0, dt)  # retry ahead of fresh work
+            else:
+                yield from mpe_fallback(dt)
+
         # ---------------------------------------------------------------- loop
         def is_offloadable(d: DetailedTask) -> bool:
             return d.task.kind is TaskKind.CPE_KERNEL
@@ -398,11 +487,22 @@ class SunwayScheduler:
                 progressed = True
 
             # (3b) completion flag set: retire finished offloaded tasks
-            done_groups = [g for g, (h, _d) in inflight.items() if h.done]
+            done_groups = [g for g, fl in inflight.items() if fl.handle.done]
             for g in done_groups:
-                _handle, done_dt = inflight.pop(g)
+                fl = inflight.pop(g)
+                done_dt = fl.dt
                 if not inflight:
                     self._kernel_inflight = False
+                if fl.handle.error is not None:
+                    # The kernel died mid-flight (simulated DMA fault): its
+                    # data effects were never published, so re-execution is
+                    # safe.  Fault-oblivious runs propagate the error.
+                    self._overlap_busy = 0.0
+                    if self.policy is None:
+                        raise fl.handle.error
+                    yield from requeue_or_fallback(done_dt)
+                    progressed = True
+                    continue
                 # With multiple CPE groups the accumulated overlapped MPE
                 # traffic is attributed to whichever kernel retires first
                 # (a pooled approximation; exact with one group).
@@ -416,8 +516,37 @@ class SunwayScheduler:
                     self.trace.record(
                         rank, "cpe", f"interference:{done_dt.name}", t0, sim.now
                     )
+                if (
+                    self.policy is not None
+                    and fl.handle.duration > self.policy.straggler_factor * fl.expected
+                ):
+                    self.stats.stragglers_detected += 1
+                    self.trace.record(
+                        rank, "cpe", f"straggler:{done_dt.name}", fl.t_launch, sim.now
+                    )
                 finish_task(done_dt)
                 progressed = True
+
+            # watchdog: abort offload slots whose completion flag never came
+            # (hung CPE group); armed only when kernels can actually hang
+            if self._watchdog and inflight:
+                overdue = [
+                    g
+                    for g, fl in inflight.items()
+                    if not fl.handle.done and sim.now >= fl.deadline
+                ]
+                for g in overdue:
+                    fl = inflight.pop(g)
+                    self.athread.abort(g)
+                    if not inflight:
+                        self._kernel_inflight = False
+                    self._overlap_busy = 0.0
+                    self.stats.kernel_timeouts += 1
+                    self.trace.record(
+                        rank, "mpe", f"recover-timeout:{fl.dt.name}", fl.t_launch, sim.now
+                    )
+                    yield from requeue_or_fallback(fl.dt)
+                    progressed = True
 
             # offload ready kernels onto free CPE groups
             if self.mode != "mpe_only":
@@ -435,6 +564,7 @@ class SunwayScheduler:
                     )
                     flag.clear()
                     t_launch = sim.now
+                    expected = self.athread.launch_latency + duration
                     handle = self.athread.spawn(
                         duration=duration,
                         payload=nxt,
@@ -443,10 +573,15 @@ class SunwayScheduler:
                         flag=flag,
                         group=g,
                     )
-                    inflight[g] = (handle, nxt)
+                    deadline = (
+                        t_launch + self.policy.kernel_timeout(expected)
+                        if self._watchdog
+                        else float("inf")
+                    )
+                    inflight[g] = _Flight(handle, nxt, expected, deadline, t_launch)
                     self._kernel_inflight = True
                     self.stats.kernels_offloaded += 1
-                    self.stats.kernel_flops += self.costs.kernel_flops(nxt.task, nxt.patch)
+                    count_flops(nxt)
                     self.trace.record(
                         rank, "cpe", nxt.name, t_launch, t_launch + handle.duration
                     )
@@ -454,13 +589,66 @@ class SunwayScheduler:
                     if self.mode == "sync":
                         # spin on the completion flag: no overlap (Sec. V-C)
                         t0 = sim.now
-                        yield handle.event
-                        self._kernel_inflight = False
-                        self._overlap_busy = 0.0
-                        self.stats.spin_wait += sim.now - t0
-                        self.trace.record(rank, "spin", nxt.name, t0, sim.now)
-                        del inflight[g]
-                        finish_task(nxt)
+                        fl = inflight.pop(g)
+                        while True:
+                            if self._watchdog:
+                                yield sim.any_of(
+                                    [
+                                        fl.handle.event,
+                                        sim.timeout(max(0.0, fl.deadline - sim.now)),
+                                    ]
+                                )
+                            else:
+                                yield fl.handle.event
+                            if fl.handle.done and fl.handle.error is None:
+                                break  # completed cleanly
+                            if not fl.handle.done:
+                                # flag never came: watchdog fired
+                                self.athread.abort(g)
+                                self.stats.kernel_timeouts += 1
+                            elif self.policy is None:
+                                raise fl.handle.error
+                            failures = offload_failures.get(nxt.dt_id, 0) + 1
+                            offload_failures[nxt.dt_id] = failures
+                            if (
+                                self.policy is not None
+                                and failures <= self.policy.max_offload_retries
+                            ):
+                                self.stats.kernel_retries += 1
+                                h2 = self.athread.spawn(
+                                    duration=duration,
+                                    payload=nxt,
+                                    on_complete=kernel_action(nxt),
+                                    name=nxt.name,
+                                    flag=flag,
+                                    group=g,
+                                )
+                                fl = _Flight(
+                                    h2,
+                                    nxt,
+                                    expected,
+                                    (
+                                        sim.now + self.policy.kernel_timeout(expected)
+                                        if self._watchdog
+                                        else float("inf")
+                                    ),
+                                    sim.now,
+                                )
+                                continue
+                            # retries exhausted: execute on the MPE instead
+                            self._kernel_inflight = False
+                            self._overlap_busy = 0.0
+                            self.stats.spin_wait += sim.now - t0
+                            self.trace.record(rank, "spin", nxt.name, t0, sim.now)
+                            yield from mpe_fallback(nxt)
+                            fl = None
+                            break
+                        if fl is not None:
+                            self._kernel_inflight = False
+                            self._overlap_busy = 0.0
+                            self.stats.spin_wait += sim.now - t0
+                            self.trace.record(rank, "spin", nxt.name, t0, sim.now)
+                            finish_task(nxt)
                         break
 
             # MPE-only mode: run kernels on the management core
@@ -550,9 +738,15 @@ class SunwayScheduler:
                 continue
 
             # nothing runnable: wait for the next interesting event
-            events: list[Event] = [h.event for h, _d in inflight.values()]
+            events: list[Event] = [fl.handle.event for fl in inflight.values()]
             events.extend(req.event for _s, req in recv_watch if not req.complete)
             events.extend(req.event for req, _d, _t0 in pending_reductions)
+            if self._watchdog and inflight:
+                # a stuck kernel's event never fires — wake at the nearest
+                # watchdog deadline instead of sleeping forever
+                next_deadline = min(fl.deadline for fl in inflight.values())
+                if next_deadline < float("inf"):
+                    events.append(sim.timeout(max(0.0, next_deadline - sim.now)))
             if not events:
                 raise DeadlockError(
                     f"rank {rank} step {step}: {len(remaining)} tasks stuck, "

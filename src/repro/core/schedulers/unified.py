@@ -51,6 +51,35 @@ class UnifiedHostScheduler(SunwayScheduler):
             raise ValueError(f"need >= 1 worker thread, got {num_threads}")
         self.num_threads = num_threads
 
+    def _host_fault_overhead(self, dt: DetailedTask, cost: float) -> float:
+        """Extra host-core seconds an injected kernel fault costs here.
+
+        Host threads have no CPE offload slot to abort, so every fault
+        resolves by re-running on the same core: a slowdown stretches the
+        kernel, a hang burns one completion timeout before the re-run, and
+        a DMA-style error wastes the fraction already executed.  Fault-free
+        runs draw nothing from the injector's stream.
+        """
+        if self.faults is None:
+            return 0.0
+        fault = self.faults.kernel_fault(self.rank, dt.name, cost, self.sim.now)
+        if fault is None:
+            return 0.0
+        if fault.kind == "slowdown":
+            if self.policy is not None and fault.factor >= self.policy.straggler_factor:
+                self.stats.stragglers_detected += 1
+            return cost * (fault.factor - 1.0)
+        wasted = cost if fault.kind == "stuck" else fault.error_frac * cost
+        if self.policy is None:
+            # fault-oblivious: the machine still lost that time, but
+            # nothing detects or recovers the failure
+            return wasted
+        if fault.kind == "stuck":
+            self.stats.kernel_timeouts += 1
+            wasted = self.policy.kernel_timeout(cost)
+        self.stats.kernel_retries += 1
+        return wasted
+
     # The Unified Scheduler replaces the whole per-timestep loop.
     def execute_timestep(
         self,
@@ -62,6 +91,8 @@ class UnifiedHostScheduler(SunwayScheduler):
         bootstrap: bool = False,
     ):
         sim, graph, rank = self.sim, self.graph, self.rank
+        if self.faults is not None:
+            self.faults.on_step_begin(rank, step)
         local = graph.local_tasks(rank)
         tracker = ReadinessTracker(local, graph)
         remaining = {d.dt_id for d in local}
@@ -180,6 +211,7 @@ class UnifiedHostScheduler(SunwayScheduler):
                 cost = self.costs.mpe_kernel_time(task, dt.patch)
                 self.stats.kernels_on_mpe += 1
                 self.stats.kernel_flops += self.costs.kernel_flops(task, dt.patch)
+                cost += self._host_fault_overhead(dt, cost)
             else:
                 cost = self.costs.mpe_task_time(task, dt.patch)
             yield from thread_mpe(tid, f"kernel:{dt.name}", cost)

@@ -1,0 +1,48 @@
+"""Fault injection and resilience for the simulated Sunway runtime.
+
+The paper's scheduler assumes a fault-free machine: the MPE polls a CPE
+completion flag that is always eventually bumped and posts MPI operations
+that always complete.  At production scale that assumption breaks — CPEs
+hang, DMA transfers error out, the interconnect drops or delays messages,
+whole nodes die mid-run.  This package makes those scenarios *simulable
+and deterministic*:
+
+* :class:`~repro.faults.injector.FaultInjector` — a seedable fault
+  source plugged into the DES clock.  Same seed, same configuration ⇒
+  bit-identical fault event stream.
+* :class:`~repro.faults.policies.ResiliencePolicy` — the knobs of the
+  scheduler-side recovery machinery (kernel completion timeouts, bounded
+  re-offload, MPE fallback, MPI retransmission backoff, straggler
+  thresholds, checkpoint cadence).
+* :class:`~repro.faults.report.ResilienceReport` — what happened: faults
+  injected, retries, recoveries, overhead against a fault-free run.
+* :class:`~repro.faults.recovery.ResilientRunner` — a checkpointed driver
+  around :class:`~repro.core.controller.SimulationController` that
+  survives whole-rank failure by restarting the step from the last
+  UDA checkpoint on the surviving layout.
+
+See ``docs/MODEL.md`` ("Fault model and resilience") for the model and
+``examples/fault_tolerance.py`` for an end-to-end demo.
+"""
+
+from repro.faults.injector import (
+    FaultConfig,
+    FaultInjector,
+    InjectedFault,
+    KernelFault,
+    MessageFault,
+    RankFailure,
+)
+from repro.faults.policies import ResiliencePolicy
+from repro.faults.report import ResilienceReport
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "InjectedFault",
+    "KernelFault",
+    "MessageFault",
+    "RankFailure",
+    "ResiliencePolicy",
+    "ResilienceReport",
+]

@@ -1,0 +1,84 @@
+"""The resilience report: what went wrong and what it cost.
+
+A :class:`ResilienceReport` aggregates one (possibly multi-segment)
+resilient run: the injected fault stream, the scheduler-side recovery
+counters, checkpoint/recovery bookkeeping, and — when a fault-free
+reference time is supplied — the wall-clock overhead the faults and
+their recovery cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.schedulers.base import SchedulerStats
+from repro.harness.reportfmt import pct, render_table, seconds
+
+
+@dataclasses.dataclass
+class ResilienceReport:
+    """Everything a resilient run reveals about its faults and recovery."""
+
+    seed: int
+    nsteps: int
+    num_ranks_start: int
+    num_ranks_end: int
+    #: ``{fault kind: count}`` from the injector's event stream.
+    faults_by_kind: dict[str, int]
+    #: Merged scheduler counters over all ranks and run segments
+    #: (includes the resilience counters: timeouts, retries, fallbacks).
+    stats: SchedulerStats
+    checkpoints_written: int = 0
+    rank_failures: int = 0
+    recoveries: int = 0
+    steps_replayed: int = 0
+    #: Tracer spans attributed to recovery work (``recover-*`` /
+    #: ``straggler`` lanes).
+    recovery_spans: int = 0
+    #: Simulated seconds actually spent, including discarded (replayed)
+    #: segment work.
+    faulty_time: float = 0.0
+    #: Simulated seconds of the fault-free reference run, if measured.
+    fault_free_time: float | None = None
+
+    @property
+    def faults_injected(self) -> int:
+        """Total faults of all kinds."""
+        return sum(self.faults_by_kind.values())
+
+    @property
+    def overhead(self) -> float | None:
+        """Fractional time overhead vs. the fault-free run (None if no
+        reference)."""
+        if self.fault_free_time is None or self.fault_free_time <= 0:
+            return None
+        return self.faulty_time / self.fault_free_time - 1.0
+
+    def render(self) -> str:
+        """Aligned text table (the ``repro resilience`` CLI output)."""
+        rows: list[tuple[str, object]] = [
+            ("seed", self.seed),
+            ("timesteps", self.nsteps),
+            ("ranks (start -> end)", f"{self.num_ranks_start} -> {self.num_ranks_end}"),
+            ("faults injected", self.faults_injected),
+        ]
+        for kind in sorted(self.faults_by_kind):
+            rows.append((f"  {kind}", self.faults_by_kind[kind]))
+        rows += [
+            ("kernel timeouts", self.stats.kernel_timeouts),
+            ("kernel re-offloads", self.stats.kernel_retries),
+            ("MPE fallbacks", self.stats.mpe_fallbacks),
+            ("MPI retransmissions", self.stats.mpi_retries),
+            ("stragglers detected", self.stats.stragglers_detected),
+            ("rank failures", self.rank_failures),
+            ("recoveries from checkpoint", self.recoveries),
+            ("timesteps replayed", self.steps_replayed),
+            ("checkpoints written", self.checkpoints_written),
+            ("recovery trace spans", self.recovery_spans),
+            ("simulated time (faulty)", seconds(self.faulty_time)),
+        ]
+        if self.fault_free_time is not None:
+            rows.append(("simulated time (fault-free)", seconds(self.fault_free_time)))
+            over = self.overhead
+            rows.append(("resilience overhead", pct(over) if over is not None else "n/a"))
+        return render_table("Resilience report", ["Metric", "Value"], rows)

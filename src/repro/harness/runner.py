@@ -43,6 +43,13 @@ class ExperimentResult:
     flops_per_step: float
     messages_per_step: float
     bytes_per_step: float
+    # -- resilience counters (structurally zero in fault-free runs) -------
+    kernel_timeouts: int = 0
+    kernel_retries: int = 0
+    mpe_fallbacks: int = 0
+    mpi_retries: int = 0
+    stragglers_detected: int = 0
+    rank_recoveries: int = 0
 
     @property
     def gflops(self) -> float:
@@ -123,6 +130,12 @@ def run_experiment(
         flops_per_step=best.flops_per_step,
         messages_per_step=best.messages_sent / nsteps,
         bytes_per_step=best.bytes_sent / nsteps,
+        kernel_timeouts=best.stats.kernel_timeouts,
+        kernel_retries=best.stats.kernel_retries,
+        mpe_fallbacks=best.stats.mpe_fallbacks,
+        mpi_retries=best.stats.mpi_retries,
+        stragglers_detected=best.stats.stragglers_detected,
+        rank_recoveries=best.stats.rank_recoveries,
     )
     _CACHE[key] = out
     return out

@@ -5,6 +5,19 @@ depends on: per-message cost ``software overhead + latency + bytes /
 bandwidth`` charged once both sides of a point-to-point transfer have
 posted, FIFO matching per ``(source, dest, tag)`` channel, eager-protocol
 send completion for small messages, and tree-shaped collectives.
+
+Fault model
+-----------
+When a :class:`~repro.faults.injector.FaultInjector` is attached
+(:attr:`Fabric.faults`), every matched point-to-point transfer asks it
+for a fault: extra *delay*, a per-rank *brownout* slow-down window,
+*duplication* (the wire carries the payload twice; the transport filters
+the copy but pays its bytes), or a *drop*.  Dropped messages are
+retransmitted by the reliable transport with exponential backoff plus
+jitter (:class:`~repro.faults.policies.ResiliencePolicy` parameters, or
+built-in defaults) until they get through — MPI semantics are preserved,
+only completion times and the retry counters change.  Matching order is
+decided at post time, so faults never mis-deliver a payload.
 """
 
 from __future__ import annotations
@@ -73,7 +86,20 @@ class Fabric:
     the right simulated times.
     """
 
-    def __init__(self, sim: Simulator, num_ranks: int, config: FabricConfig | None = None):
+    #: Fallback retransmission parameters when faults are injected but no
+    #: ResiliencePolicy is attached.
+    _DEFAULT_BACKOFF = 100e-6
+    _DEFAULT_JITTER = 0.25
+    _DEFAULT_MAX_RETRIES = 5
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_ranks: int,
+        config: FabricConfig | None = None,
+        faults=None,
+        policy=None,
+    ):
         if num_ranks < 1:
             raise ValueError(f"need >= 1 rank, got {num_ranks}")
         self.sim = sim
@@ -86,6 +112,23 @@ class Fabric:
         self._nic_free: list[float] = [0.0] * num_ranks
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Optional :class:`~repro.faults.injector.FaultInjector` and
+        #: :class:`~repro.faults.policies.ResiliencePolicy`.
+        self.faults = faults
+        self.policy = policy
+        #: Hot-path gate: skip the per-message injector query entirely
+        #: when no network fault can ever fire (fault-free overhead).
+        self._net_active = faults is not None and faults.config.net_active
+        #: Retransmissions of dropped messages, attributed to the sender.
+        self.retries_by_rank: list[int] = [0] * num_ranks
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_delayed = 0
+
+    @property
+    def mpi_retries(self) -> int:
+        """Total retransmissions over all ranks."""
+        return sum(self.retries_by_rank)
 
     # -- point to point -------------------------------------------------------
     def _check_rank(self, rank: int) -> None:
@@ -170,9 +213,63 @@ class Fabric:
             done_in = done_at - now
         else:
             done_in = self.config.transfer_time(send_req.nbytes)
+        if self._net_active:
+            fault = self.faults.message_fault(
+                send_req.source, send_req.dest, send_req.nbytes, self.sim.now
+            )
+            if fault is not None:
+                done_in = done_in * fault.slow_factor + fault.extra_delay
+                if fault.extra_delay > 0:
+                    self.messages_delayed += 1
+                if fault.duplicate:
+                    # The wire carries the payload twice; the transport's
+                    # sequence numbers filter the copy at delivery.
+                    self.messages_duplicated += 1
+                    self.bytes_sent += send_req.nbytes
+                if fault.drop:
+                    self.messages_dropped += 1
+                    self.sim.process(
+                        self._retransmit(send_entry, recv_entry, done_in),
+                        name=f"retx:{send_req.source}->{send_req.dest}",
+                    )
+                    return
+        self._deliver(send_entry, recv_entry, done_in)
+
+    def _deliver(self, send_entry: dict, recv_entry: dict, done_in: float) -> None:
+        """Complete both sides of a matched transfer ``done_in`` from now."""
+        send_req: SendRequest = send_entry["req"]
+        recv_req: RecvRequest = recv_entry["req"]
         recv_req.event.succeed(send_entry["payload"], delay=done_in)
         if not send_req.event.triggered:  # large message: rendezvous completion
             send_req.event.succeed(None, delay=done_in)
+
+    def _retransmit(self, send_entry: dict, recv_entry: dict, wire_cost: float):
+        """Reliable-transport recovery of a dropped message.
+
+        The sender detects the loss after the wire time plus an
+        exponentially growing, jittered backoff, then resends; each
+        resend may be dropped again (same drop rate) until the retry
+        budget forces the message through — the simulated analogue of a
+        link-level reliable channel underneath lossy injection.
+        """
+        send_req: SendRequest = send_entry["req"]
+        pol = self.policy
+        backoff_base = pol.mpi_backoff_base if pol else self._DEFAULT_BACKOFF
+        jitter_frac = pol.mpi_backoff_jitter if pol else self._DEFAULT_JITTER
+        max_retries = pol.mpi_max_retries if pol else self._DEFAULT_MAX_RETRIES
+        site = f"{send_req.source}->{send_req.dest}:{send_req.nbytes}B"
+        attempt = 0
+        while True:
+            attempt += 1
+            rto = backoff_base * (2.0 ** (attempt - 1))
+            rto *= 1.0 + jitter_frac * self.faults.jitter()
+            yield self.sim.timeout(wire_cost + rto)
+            self.retries_by_rank[send_req.source] += 1
+            self.bytes_sent += send_req.nbytes
+            if attempt >= max_retries or not self.faults.redrop(self.sim.now, site):
+                break
+            self.messages_dropped += 1
+        self._deliver(send_entry, recv_entry, wire_cost)
 
     def _nic_lookup(self, send_req: SendRequest) -> tuple[int, int]:
         """Source and destination ranks of a matched send."""

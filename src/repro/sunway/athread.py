@@ -81,12 +81,22 @@ class OffloadHandle:
     name: str
     group: int
     flag: CompletionFlag
-    #: Fires when the kernel finishes (flag has been bumped).
+    #: Fires when the kernel finishes (flag has been bumped) — or, under
+    #: fault injection, when it dies with :attr:`error` set.
     event: Event
-    #: Simulated seconds the cluster will spend (launch + execution).
+    #: Simulated seconds the cluster will spend (launch + execution,
+    #: including any injected slowdown).
     duration: float
     #: Arbitrary scheduler payload (e.g. the detailed task).
     payload: object = None
+    #: Set when the kernel died instead of completing (e.g.
+    #: :class:`~repro.sunway.dma.DMAError`); data effects were NOT applied.
+    error: BaseException | None = None
+    #: Set by :meth:`AthreadRuntime.abort`: the MPE gave up on this
+    #: kernel; any still-pending completion is discarded.
+    aborted: bool = False
+    #: The fault the injector dealt this kernel, if any (diagnostics).
+    fault: object = None
 
     @property
     def done(self) -> bool:
@@ -132,6 +142,12 @@ class AthreadRuntime:
         self.num_groups = num_groups
         self._busy: dict[int, OffloadHandle | None] = {g: None for g in range(num_groups)}
         self._spawn_count = 0
+        #: Optional :class:`~repro.faults.injector.FaultInjector` (set by
+        #: the controller).  When present, every spawn asks it for a
+        #: kernel fault: slowdown, stuck completion flag, or DMA error.
+        self.faults = None
+        #: Rank this core-group belongs to (fault-stream attribution).
+        self.rank = 0
 
     @property
     def cpes_per_group(self) -> int:
@@ -184,16 +200,62 @@ class AthreadRuntime:
             duration=self.launch_latency + duration,
             payload=payload,
         )
+        fault = None
+        # hot-path gate: skip the injector query when no CPE fault can fire
+        if self.faults is not None and self.faults.config.cpe_active:
+            fault = self.faults.kernel_fault(
+                self.rank, handle.name, handle.duration, self.sim.now
+            )
+            handle.fault = fault
+            if fault is not None and fault.kind == "slowdown":
+                handle.duration *= fault.factor
         self._busy[group] = handle
 
         def run(sim: Simulator):
+            if fault is not None and fault.kind == "stuck":
+                # Hung CPE: the completion flag is never bumped.  The MPE
+                # only recovers through its completion-timeout watchdog
+                # (ResiliencePolicy), which aborts this slot.
+                return
+            if fault is not None and fault.kind == "dma_error":
+                from repro.sunway.dma import DMAError
+
+                yield sim.timeout(fault.error_frac * handle.duration)
+                if handle.aborted:
+                    return
+                handle.error = DMAError(handle.name, fault.error_frac)
+                handle.event.succeed(handle)
+                return
             yield sim.timeout(handle.duration)
+            if handle.aborted:
+                # The MPE gave up (watchdog) before we finished; results
+                # are discarded exactly like a killed thread group's.
+                return
             if on_complete is not None:
                 on_complete()
             flag.faaw(1)
             handle.event.succeed(handle)
 
         self.sim.process(run(self.sim), name=f"cpe-group{group}:{handle.name}")
+        return handle
+
+    def abort(self, group: int = 0) -> OffloadHandle | None:
+        """Give up on ``group``'s in-flight kernel and free the slot.
+
+        Models the MPE killing a hung thread group after a completion
+        timeout: the kernel's pending effects (data publication, flag
+        bump) are discarded, and the group accepts a new ``spawn``
+        immediately.  Returns the abandoned handle (or None if the group
+        was idle).
+        """
+        if group not in self._busy:
+            raise ValueError(f"no such CPE group {group} (have {self.num_groups})")
+        handle = self._busy[group]
+        if handle is None or handle.done:
+            self._busy[group] = None
+            return None
+        handle.aborted = True
+        self._busy[group] = None
         return handle
 
     @property

@@ -20,6 +20,28 @@ from __future__ import annotations
 import dataclasses
 
 
+class DMAError(RuntimeError):
+    """A DMA transfer failed mid-kernel (fault-injection model).
+
+    On real SW26010 hardware a failing ``athread_get``/``athread_put``
+    leaves the LDM tile in an undefined state and the kernel cannot
+    publish its results.  The simulated fault
+    (:class:`~repro.faults.injector.FaultInjector` ``dma_error``) mirrors
+    that contract: the offload handle completes *with this error*, its
+    data effects are never applied, and the scheduler's resilience policy
+    decides between re-offload and MPE fallback.  Without a policy the
+    error propagates and aborts the run — a fault-oblivious scheduler
+    must not silently continue on corrupt data.
+    """
+
+    def __init__(self, kernel: str, frac: float):
+        super().__init__(
+            f"DMA transfer error in kernel {kernel!r} at {frac:.0%} of its runtime"
+        )
+        self.kernel = kernel
+        self.frac = frac
+
+
 @dataclasses.dataclass(frozen=True)
 class DMATransfer:
     """One DMA operation, for traces and accounting."""

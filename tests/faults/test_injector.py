@@ -1,0 +1,111 @@
+"""Unit tests of the fault injector: determinism, config validation."""
+
+import pytest
+
+from repro.faults import FaultConfig, FaultInjector, RankFailure
+
+
+def drain_kernel(inj, n=200):
+    return [inj.kernel_fault(0, f"k{i}", 1e-3, float(i)) for i in range(n)]
+
+
+def drain_messages(inj, n=200):
+    return [inj.message_fault(0, 1, 4096, float(i)) for i in range(n)]
+
+
+# ---------------------------------------------------------------- determinism
+def test_kernel_fault_stream_is_seed_deterministic():
+    cfg = FaultConfig(
+        seed=11, kernel_slowdown_prob=0.2, kernel_stuck_prob=0.1, dma_error_prob=0.1
+    )
+    a, b = FaultInjector(cfg), FaultInjector(cfg)
+    assert drain_kernel(a) == drain_kernel(b)
+    assert a.injected == b.injected
+    assert a.injected  # the probabilities are high enough to fire
+
+
+def test_message_fault_stream_is_seed_deterministic():
+    cfg = FaultConfig(seed=3, msg_drop_prob=0.1, msg_dup_prob=0.1, msg_delay_prob=0.1)
+    a, b = FaultInjector(cfg), FaultInjector(cfg)
+    assert drain_messages(a) == drain_messages(b)
+    assert a.injected == b.injected
+    assert a.injected
+
+
+def test_different_seeds_give_different_streams():
+    mk = lambda s: FaultConfig(seed=s, kernel_slowdown_prob=0.3)
+    assert drain_kernel(FaultInjector(mk(1))) != drain_kernel(FaultInjector(mk(2)))
+
+
+def test_categories_use_independent_streams():
+    """Adding message faults must not perturb the kernel fault stream."""
+    kernel_only = FaultConfig(seed=5, dma_error_prob=0.2)
+    both = FaultConfig(seed=5, dma_error_prob=0.2, msg_drop_prob=0.5)
+    a, b = FaultInjector(kernel_only), FaultInjector(both)
+    drain_messages(b)  # consume the net stream first
+    assert drain_kernel(a) == drain_kernel(b)
+
+
+def test_inactive_categories_draw_nothing():
+    inj = FaultInjector(FaultConfig(seed=0))
+    assert drain_kernel(inj) == [None] * 200
+    assert drain_messages(inj) == [None] * 200
+    assert inj.injected == []
+    assert inj.counts_by_kind() == {}
+
+
+# ---------------------------------------------------------------- rank failure
+def test_rank_failure_fires_once_at_the_right_step():
+    inj = FaultInjector(FaultConfig(seed=0, fail_rank=1, fail_at_step=3))
+    inj.on_step_begin(0, 3)  # other ranks live on
+    inj.on_step_begin(1, 2)  # too early
+    with pytest.raises(RankFailure) as exc:
+        inj.on_step_begin(1, 3)
+    assert exc.value.rank == 1 and exc.value.step == 3
+    inj.on_step_begin(1, 4)  # one-shot: disarmed after firing
+    assert inj.counts_by_kind() == {"rank_failure": 1}
+
+
+def test_rank_failure_respects_step_offset():
+    """Recovery segments renumber steps from 1; the offset restores the
+    global step so a failure cannot re-fire after the restart."""
+    inj = FaultInjector(FaultConfig(seed=0, fail_rank=0, fail_at_step=7))
+    inj.step_offset = 5
+    inj.on_step_begin(0, 1)  # global step 6
+    with pytest.raises(RankFailure):
+        inj.on_step_begin(0, 2)  # global step 7
+
+
+def test_brownout_window_is_rng_free():
+    cfg = FaultConfig(seed=0, brownout_rank=1, brownout_t0=1.0, brownout_t1=2.0)
+    inj = FaultInjector(cfg)
+    assert inj.message_fault(0, 1, 10, 0.5) is None  # before the window
+    hit = inj.message_fault(1, 0, 10, 1.5)
+    assert hit is not None and hit.slow_factor == cfg.brownout_factor
+    assert inj.message_fault(2, 3, 10, 1.5) is None  # other ranks unaffected
+    assert inj.message_fault(0, 1, 10, 2.0) is None  # window is half-open
+
+
+# ---------------------------------------------------------------- validation
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"kernel_stuck_prob": -0.1},
+        {"msg_drop_prob": 1.5},
+        {"kernel_slowdown_prob": 0.6, "kernel_stuck_prob": 0.6},
+        {"msg_drop_prob": 0.5, "msg_dup_prob": 0.3, "msg_delay_prob": 0.3},
+        {"kernel_slowdown_factor": 0.5, "kernel_slowdown_prob": 0.1},
+        {"dma_error_frac": 0.0, "dma_error_prob": 0.1},
+        {"fail_rank": 1},  # without fail_at_step
+        {"fail_at_step": 5},  # without fail_rank
+        {"fail_rank": 0, "fail_at_step": 0},  # steps number from 1
+    ],
+)
+def test_config_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        FaultConfig(**kwargs)
+
+
+def test_can_hang_only_with_stuck_faults():
+    assert not FaultConfig(dma_error_prob=0.5).can_hang
+    assert FaultConfig(kernel_stuck_prob=0.01).can_hang

@@ -161,3 +161,18 @@ def test_noisy_repeats_take_best(quick):
     assert noisy1.time_per_step > clean.time_per_step  # noise only slows
     assert noisy5.time_per_step <= noisy1.time_per_step  # best-of-5 helps
     assert noisy5.time_per_step >= clean.time_per_step  # but never beats quiet
+
+
+def test_experiments_are_fault_free(quick):
+    """Without an injector no recovery machinery may ever fire — the
+    resilience counter block is structurally zero."""
+    r = quick(SMALL, "acc.async", 4)
+    assert metrics.is_fault_free(r)
+    assert all(v == 0 for v in metrics.resilience_counters(r).values())
+
+
+def test_resilience_overhead_metric():
+    assert metrics.resilience_overhead(2.0, 2.5) == pytest.approx(0.25)
+    assert metrics.resilience_overhead(2.0, 2.0) == 0.0
+    with pytest.raises(ValueError):
+        metrics.resilience_overhead(0.0, 1.0)

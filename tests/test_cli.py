@@ -49,6 +49,29 @@ def test_sweep(capsys):
     assert "128" in out
 
 
+def test_resilience(capsys):
+    code = main(
+        ["--seed", "7", "resilience", "--nsteps", "6", "--extent", "12",
+         "--cgs", "2", "--fail-rank", "1", "--fail-step", "4",
+         "--checkpoint-every", "3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Resilience report" in out
+    assert "recoveries from checkpoint" in out
+    assert "bit-identical" in out
+
+
+def test_resilience_without_rank_failure(capsys):
+    code = main(
+        ["resilience", "--nsteps", "4", "--extent", "12", "--cgs", "2",
+         "--fail-rank", "-1", "--stuck", "0.2", "--drop", "0.2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
+
+
 def test_missing_command():
     with pytest.raises(SystemExit):
         main([])

@@ -35,6 +35,7 @@ def test_example_files_exist():
         "strong_scaling_mini.py",
         "unified_vs_sunway.py",
         "checkpoint_restart.py",
+        "fault_tolerance.py",
     } <= present
 
 
@@ -56,6 +57,13 @@ def test_tile_explorer():
 
 def test_checkpoint_restart():
     out = run_example("checkpoint_restart.py")
+    assert "bit-identical" in out
+
+
+def test_fault_tolerance():
+    out = run_example("fault_tolerance.py")
+    assert "Resilience report" in out
+    assert "recovered on 3 of 4 CGs" in out
     assert "bit-identical" in out
 
 
