@@ -11,8 +11,6 @@ what each would have bought on the medium problem, against the paper's
 measured configuration (acc_simd.async).
 """
 
-import dataclasses
-
 import pytest
 
 from benchmarks.conftest import run_once

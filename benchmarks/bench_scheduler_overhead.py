@@ -1,0 +1,127 @@
+"""Host-side overhead of the DES scheduler loop, before vs after the
+engine refactor.
+
+The layered execution engine (lifecycle events, comm/offload engines,
+backend objects) adds indirection to the per-iteration scheduler loop.
+This benchmark pins that cost: it runs a fixed model-mode problem
+(``16x16x512``, 8 CGs, async) where the DES loop *is* the host cost —
+there are no numerics — and compares wall-clock per run against the
+committed pre-refactor baseline in
+``results/scheduler_overhead_baseline.json``.
+
+The contract: the refactor stays within 5 % of the monolith's loop time.
+Wall-clock baselines are only meaningful on the machine that produced
+them, so the 5 % assertion is enforced when the stored fingerprint
+matches the current interpreter/platform and skipped (with the numbers
+still published) otherwise.
+
+Regenerate the baseline (only for an *intended* perf change)::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_overhead.py --rebaseline
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+
+from repro.burgers.component import BurgersProblem
+from repro.core.controller import SimulationController
+from repro.harness import calibration
+from repro.harness.problems import problem_by_name
+from repro.harness.reportfmt import render_table, seconds
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "results" / "scheduler_overhead_baseline.json"
+NSTEPS = 10
+REPEATS = 8
+TOLERANCE = 0.05
+
+
+def _fingerprint() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+    }
+
+
+def _build_controller() -> SimulationController:
+    problem = problem_by_name("16x16x512")
+    grid = problem.grid()
+    burgers = BurgersProblem(grid)
+    return SimulationController(
+        grid,
+        burgers.tasks(),
+        burgers.init_tasks(),
+        num_ranks=8,
+        mode="async",
+        real=False,
+        cost_model=calibration.cost_model(),
+        fabric_config=calibration.FABRIC,
+        scheduler_kwargs=calibration.scheduler_kwargs(),
+    )
+
+
+def measure(repeats: int = REPEATS) -> dict:
+    """Best-of-N wall-clock of the DES loop (model mode: loop cost only)."""
+    best = float("inf")
+    sim_time = None
+    for _ in range(repeats):
+        ctl = _build_controller()
+        t0 = time.perf_counter()
+        res = ctl.run(nsteps=NSTEPS, dt=1e-5)
+        best = min(best, time.perf_counter() - t0)
+        sim_time = res.total_time
+    return {
+        "host_seconds": best,
+        "nsteps": NSTEPS,
+        "simulated_seconds": sim_time,
+        "fingerprint": _fingerprint(),
+    }
+
+
+def test_scheduler_loop_overhead_within_baseline(publish):
+    current = measure()
+    rows = [
+        ("DES loop host time (best of %d)" % REPEATS, seconds(current["host_seconds"])),
+        ("simulated seconds", seconds(current["simulated_seconds"])),
+    ]
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        ratio = current["host_seconds"] / baseline["host_seconds"]
+        rows.append(("pre-refactor baseline", seconds(baseline["host_seconds"])))
+        rows.append(("ratio vs baseline", f"{ratio:.3f}x"))
+    publish(
+        "scheduler_overhead",
+        render_table("Scheduler loop overhead", ["Metric", "Value"], rows),
+    )
+    assert baseline is not None, "no committed baseline; run --rebaseline"
+    # identical schedule regardless of host speed: the DES must charge the
+    # exact same simulated time the monolith charged
+    assert current["simulated_seconds"] == baseline["simulated_seconds"]
+    if baseline["fingerprint"] != _fingerprint():
+        import pytest
+
+        pytest.skip("baseline from a different machine; wall-clock not comparable")
+    assert current["host_seconds"] <= baseline["host_seconds"] * (1 + TOLERANCE), (
+        f"scheduler loop {current['host_seconds']:.3f}s exceeds baseline "
+        f"{baseline['host_seconds']:.3f}s by more than {TOLERANCE:.0%}"
+    )
+
+
+def _rebaseline() -> None:
+    BASELINE_PATH.parent.mkdir(exist_ok=True)
+    data = measure()
+    BASELINE_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BASELINE_PATH}: {data['host_seconds']:.3f}s host")
+
+
+if __name__ == "__main__":
+    if "--rebaseline" in sys.argv:
+        _rebaseline()
+    else:
+        print(__doc__)

@@ -8,7 +8,6 @@ paper occasionally negative, attributed to machine anomalies) at 128 CGs.
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.harness.problems import CG_COUNTS
 from repro.harness.tables import table6, table6_data
 
 

@@ -13,8 +13,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
+from repro.core.schedulers.selection import POLICIES
 from repro.harness import metrics
 from repro.harness.problems import PROBLEMS, problem_by_name
 from repro.harness.reportfmt import pct, render_table, seconds
@@ -75,11 +77,14 @@ def _cmd_fig(args) -> int:
 
 def _cmd_run(args) -> int:
     problem = problem_by_name(args.problem)
-    variant = variant_by_name(args.variant)
+    variant = dataclasses.replace(
+        variant_by_name(args.variant), select_policy=args.select_policy
+    )
     result = run_experiment(problem, variant, args.cgs, nsteps=args.nsteps)
     rows = [
         ("problem", result.problem),
         ("variant", result.variant),
+        ("select policy", variant.select_policy),
         ("CGs", result.num_cgs),
         ("time/step", seconds(result.time_per_step)),
         ("Gflop/s", f"{result.gflops:.2f}"),
@@ -93,7 +98,9 @@ def _cmd_run(args) -> int:
 
 def _cmd_sweep(args) -> int:
     problem = problem_by_name(args.problem)
-    variant = variant_by_name(args.variant)
+    variant = dataclasses.replace(
+        variant_by_name(args.variant), select_policy=args.select_policy
+    )
     base = None
     rows = []
     for cgs in problem.cg_counts():
@@ -234,6 +241,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variant", default="acc.async", choices=sorted(VARIANTS))
     p.add_argument("--cgs", type=int, default=8)
     p.add_argument("--nsteps", type=int, default=10)
+    p.add_argument(
+        "--select-policy",
+        default="fifo",
+        choices=sorted(POLICIES),
+        help="ready-queue ordering for offloadable tasks",
+    )
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
@@ -263,6 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--problem", default="16x16x512", choices=[pr.name for pr in PROBLEMS])
     p.add_argument("--variant", default="acc_simd.async", choices=sorted(VARIANTS))
     p.add_argument("--nsteps", type=int, default=10)
+    p.add_argument(
+        "--select-policy",
+        default="fifo",
+        choices=sorted(POLICIES),
+        help="ready-queue ordering for offloadable tasks",
+    )
     p.set_defaults(fn=_cmd_sweep)
 
     return parser

@@ -17,7 +17,7 @@ import dataclasses
 
 from repro.core.grid import Grid
 from repro.core.patch import Patch
-from repro.core.task import Task, TaskKind
+from repro.core.task import Task
 from repro.core.tiling import TilePlan, choose_tile_shape
 from repro.sunway.config import CoreGroupConfig
 from repro.sunway.corerates import CoreRates

@@ -63,13 +63,19 @@ class DataWarehouse:
         self.put(var)
         return var
 
-    def scrub(self, label: VarLabel, patch: Patch) -> None:
-        """Drop a variable whose consumers have all run (memory reclaim)."""
-        self._grid_vars.pop((label.name, patch.patch_id), None)
+    def scrub(self, label: VarLabel, patch: Patch) -> bool:
+        """Drop a variable whose consumers have all run (memory reclaim).
 
-    def scrub_named(self, label_name: str, patch_id: int) -> None:
-        """Scrub by key — what the scheduler's scrub counters use."""
-        self._grid_vars.pop((label_name, patch_id), None)
+        Returns whether the variable was actually present.  Delegates to
+        :meth:`scrub_named` so both entry points share one removal path
+        (the scheduler counts *logical* scrubs on the lifecycle bus,
+        identically in real and model mode — not removals here).
+        """
+        return self.scrub_named(label.name, patch.patch_id)
+
+    def scrub_named(self, label_name: str, patch_id: int) -> bool:
+        """Scrub by key — what the scheduler's scrub machinery uses."""
+        return self._grid_vars.pop((label_name, patch_id), None) is not None
 
     # -- reductions -----------------------------------------------------------------
     def put_reduction(self, label: VarLabel, value: float) -> None:

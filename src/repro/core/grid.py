@@ -11,7 +11,6 @@ scope here (see DESIGN.md).
 from __future__ import annotations
 
 import dataclasses
-import typing as _t
 
 from repro.core.patch import Patch, Region, FACES
 

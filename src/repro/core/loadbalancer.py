@@ -10,8 +10,6 @@ provided; all are deterministic.
 
 from __future__ import annotations
 
-import typing as _t
-
 from repro.core.grid import Grid
 
 

@@ -1,7 +1,9 @@
 """Task schedulers: the paper's Sunway-specific scheduler and its modes.
 
 One scheduler implementation (:class:`~repro.core.schedulers.scheduler.
-SunwayScheduler`) supports the three operating modes of paper Sec. V-C:
+SunwayScheduler`) supports the three operating modes of paper Sec. V-C,
+each resolved at construction to an executor backend
+(:mod:`~repro.core.schedulers.backends`):
 
 * ``"async"`` — the contribution: offload a kernel to the CPE cluster and
   *return immediately*, overlapping kernel execution with MPI progress,
@@ -14,17 +16,36 @@ SunwayScheduler`) supports the three operating modes of paper Sec. V-C:
 
 :class:`AsyncScheduler`, :class:`SyncScheduler` and
 :class:`MPEOnlyScheduler` are convenience subclasses pinning the mode.
+The layered machinery underneath — lifecycle events, the communication
+and offload engines, selection strategies — is documented in
+``docs/ARCHITECTURE.md``.
 """
 
-from repro.core.schedulers.base import SchedulerStats, DeadlockError
+from repro.core.schedulers.base import (
+    DeadlockError,
+    ReadinessTracker,
+    SchedulerCore,
+    SchedulerStats,
+    StepContext,
+)
+from repro.core.schedulers.lifecycle import TaskLifecycle, TaskState
+from repro.core.schedulers.modes import AsyncScheduler, MPEOnlyScheduler, SyncScheduler
 from repro.core.schedulers.scheduler import SunwayScheduler
-from repro.core.schedulers.modes import AsyncScheduler, SyncScheduler, MPEOnlyScheduler
+from repro.core.schedulers.selection import POLICIES, SelectionPolicy, make_policy
 
 __all__ = [
     "SchedulerStats",
     "DeadlockError",
+    "ReadinessTracker",
+    "SchedulerCore",
+    "StepContext",
     "SunwayScheduler",
     "AsyncScheduler",
     "SyncScheduler",
     "MPEOnlyScheduler",
+    "TaskLifecycle",
+    "TaskState",
+    "SelectionPolicy",
+    "POLICIES",
+    "make_policy",
 ]

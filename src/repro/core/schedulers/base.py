@@ -1,8 +1,28 @@
-"""Shared scheduler plumbing: stats, errors, readiness bookkeeping."""
+"""Shared scheduler plumbing: stats, errors, readiness, step context.
+
+:class:`SchedulerCore` is the common trunk of both scheduler families
+(:class:`~repro.core.schedulers.scheduler.SunwayScheduler` and
+:class:`~repro.core.schedulers.unified.UnifiedHostScheduler`): it owns
+the construction-time wiring — cost model, noise stream, selection
+policy, fault/resilience hooks, and the task-lifecycle event bus with
+its stats/trace/retry subscribers.  Concrete schedulers add a backend
+and the per-timestep orchestration; see ``docs/ARCHITECTURE.md``.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+
+from repro.core.schedulers.lifecycle import (
+    RetryGovernor,
+    StatsSubscriber,
+    TaskLifecycle,
+    TaskState,
+    TraceSubscriber,
+)
+from repro.core.schedulers.selection import make_policy
+from repro.core.task import TaskContext
+from repro.core.trace import Tracer
 
 
 class DeadlockError(RuntimeError):
@@ -60,13 +80,16 @@ class ReadinessTracker:
 
     A task becomes ready when its internal producers have completed,
     every incoming message has been unpacked, and every intra-rank ghost
-    copy feeding it has been performed.
+    copy feeding it has been performed.  ``on_ready`` (optional) fires
+    once per task the moment it enters the ready queue — the lifecycle
+    layer uses it for the PENDING → READY transition.
     """
 
-    def __init__(self, local_tasks, graph):
+    def __init__(self, local_tasks, graph, on_ready=None):
         self.blockers: dict[int, int] = {}
         self.ready: list = []
         self._tasks = {dt.dt_id: dt for dt in local_tasks}
+        self._on_ready = on_ready
         for dt in local_tasks:
             n = len(graph.internal_deps[dt.dt_id])
             n += len(graph.recvs_for(dt))
@@ -74,6 +97,8 @@ class ReadinessTracker:
             self.blockers[dt.dt_id] = n
             if n == 0:
                 self.ready.append(dt)
+                if on_ready is not None:
+                    on_ready(dt)
 
     def release(self, dt_id: int) -> None:
         """One blocker of ``dt_id`` resolved; enqueue when count hits zero."""
@@ -81,7 +106,10 @@ class ReadinessTracker:
             return  # consumer lives on another rank
         self.blockers[dt_id] -= 1
         if self.blockers[dt_id] == 0:
-            self.ready.append(self._tasks[dt_id])
+            dt = self._tasks[dt_id]
+            self.ready.append(dt)
+            if self._on_ready is not None:
+                self._on_ready(dt)
         elif self.blockers[dt_id] < 0:
             raise RuntimeError(f"blocker count of task {dt_id} went negative")
 
@@ -91,17 +119,162 @@ class ReadinessTracker:
         ``key`` (optional) selects among the matches: the highest-scoring
         one is taken (ties keep queue order).  Without it, FIFO.
         """
-        matches = [(i, dt) for i, dt in enumerate(self.ready) if predicate(dt)]
+        ready = self.ready
+        if key is None:
+            for i, dt in enumerate(ready):
+                if predicate(dt):
+                    ready.pop(i)
+                    return dt
+            return None
+        matches = [(i, dt) for i, dt in enumerate(ready) if predicate(dt)]
         if not matches:
             return None
-        if key is None:
-            i, dt = matches[0]
-        else:
-            i, dt = max(matches, key=lambda pair: key(pair[1]))
-        self.ready.pop(i)
+        i, dt = max(matches, key=lambda pair: key(pair[1]))
+        ready.pop(i)
         return dt
 
     @property
     def any_ready(self) -> bool:
         """Whether any task is currently runnable."""
         return bool(self.ready)
+
+
+@dataclasses.dataclass
+class StepContext:
+    """Everything one timestep's engines share: DWs, tags, readiness.
+
+    Built afresh by ``execute_timestep`` and handed to the comm/offload
+    engines and the backend, so no per-step state leaks onto the
+    scheduler object itself.
+    """
+
+    step: int
+    time: float
+    dt_value: float
+    old_dw: object | None
+    new_dw: object
+    bootstrap: bool
+    local: list
+    tracker: ReadinessTracker
+    remaining: set
+    tag_base: int
+    next_tag_base: int
+    #: dt_ids whose MPE part already ran (prefetch dedup).
+    prepared: set = dataclasses.field(default_factory=set)
+
+    def dw_for(self, which: str):
+        if which == "old":
+            if self.old_dw is None:
+                raise RuntimeError("graph requires old-DW data but there is no old DW")
+            return self.old_dw
+        return self.new_dw
+
+
+class SchedulerCore:
+    """Construction-time wiring shared by every scheduler implementation."""
+
+    def __init__(
+        self,
+        sim,
+        rank: int,
+        graph,
+        comm,
+        athread,
+        cost_model,
+        mode: str = "async",
+        real: bool = True,
+        trace: Tracer | None = None,
+        interference_scalar: float = 0.04,
+        interference_simd: float = 0.50,
+        scrub: bool = True,
+        select_policy: str = "fifo",
+        noise=None,
+        faults=None,
+        resilience=None,
+    ):
+        self.sim = sim
+        self.rank = rank
+        self.graph = graph
+        self.comm = comm
+        self.athread = athread
+        self.costs = cost_model
+        self.mode = mode
+        self.real = real
+        self.trace = trace if trace is not None else Tracer(enabled=False)
+        self.stats = SchedulerStats()
+        self.interference = (
+            interference_simd if getattr(cost_model, "simd", False) else interference_scalar
+        )
+        self._local_patches = [
+            p for p in graph.grid.patches() if graph.assignment[p.patch_id] == rank
+        ]
+        #: Cross-step sends still in flight from previous timesteps.
+        self._carryover_sends: list = []
+        #: Fault injector and resilience policy (both optional; the
+        #: fault-free fast path must stay byte-identical to the seed).
+        self.faults = faults
+        self.policy = resilience
+        #: Scrub old-DW variables once their last consumer has read them.
+        self.scrub = scrub
+        #: Machine-noise stream (paper Sec. VII-A instabilities); quiet
+        #: by default.
+        from repro.core.noise import NO_NOISE
+
+        self._noise = (noise if noise is not None else NO_NOISE).for_rank(rank)
+        #: Ready-queue ordering strategy for step 3(b)ii "select a ready
+        #: offloadable task" — see :mod:`repro.core.schedulers.selection`.
+        self.select = make_policy(select_policy, graph, rank)
+        self.select_policy = select_policy
+        #: The task-lifecycle event bus; stats, tracing and the retry
+        #: governor observe the run through it (never hand-threaded).
+        #: Inert observers are not subscribed at all — a disabled tracer
+        #: or absent resilience policy must not tax every event.
+        self.lifecycle = TaskLifecycle(clock=sim)
+        self.retry_governor = RetryGovernor(resilience)
+        self.lifecycle.subscribe(StatsSubscriber(self.stats))
+        if self.trace.enabled:
+            self.lifecycle.subscribe(TraceSubscriber(self.trace, rank))
+        if resilience is not None:
+            self.lifecycle.subscribe(self.retry_governor)
+
+    def _mark_ready(self, dt) -> None:
+        """ReadinessTracker ``on_ready`` hook: PENDING → READY."""
+        self.lifecycle.transition(dt, TaskState.READY)
+
+    def _begin_step(
+        self, step: int, time: float, dt_value: float, old_dw, new_dw, bootstrap: bool
+    ) -> StepContext:
+        """Fault hook, lifecycle reset, and a fresh :class:`StepContext`."""
+        graph, rank = self.graph, self.rank
+        if self.faults is not None:
+            # Whole-rank failure strikes at timestep boundaries; the
+            # raised RankFailure propagates through the driver process
+            # and aborts Simulator.run for checkpoint recovery.
+            self.faults.on_step_begin(rank, step)
+        local = graph.local_tasks(rank)
+        self.lifecycle.begin_step(local)
+        return StepContext(
+            step=step,
+            time=time,
+            dt_value=dt_value,
+            old_dw=old_dw,
+            new_dw=new_dw,
+            bootstrap=bootstrap,
+            local=local,
+            tracker=ReadinessTracker(local, graph, on_ready=self._mark_ready),
+            remaining={d.dt_id for d in local},
+            tag_base=step * graph.num_tags,
+            next_tag_base=(step + 1) * graph.num_tags,
+        )
+
+    def _ctx(self, patch, st: StepContext) -> TaskContext:
+        return TaskContext(
+            grid=self.graph.grid,
+            patch=patch,
+            old_dw=st.old_dw,
+            new_dw=st.new_dw,
+            time=st.time,
+            dt=st.dt_value,
+            step=st.step,
+            params=getattr(self, "params", {}),
+        )

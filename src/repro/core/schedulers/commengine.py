@@ -1,0 +1,254 @@
+"""Communication engine: MPI recvs, ghost pack/send/unpack, copies,
+reductions, and old-DW scrub accounting.
+
+One :class:`CommEngine` lives for one timestep (paper steps 3a, 3c, 3d).
+It owns the MPE work queue of communication items — local ghost copies,
+pack+send, unpack — posts the step's non-blocking receives, watches
+pending allreduces, and performs the data-warehouse effects when an item
+executes.  The scheduler charges the MPE time (through ``sched._mpe``)
+and asks the engine to apply the effects; all bookkeeping lands on the
+lifecycle bus (``msg-sent`` / ``msg-recv`` / ``local-copy`` /
+``reduction`` / ``scrubbed`` events), never directly on the stats.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as _t
+
+from repro.core.schedulers.lifecycle import TaskState
+from repro.core.task import DetailedTask
+from repro.core.taskgraph import CopySpec, MessageSpec
+
+
+class CommEngine:
+    """Per-timestep communication state and effects for one rank."""
+
+    def __init__(self, sched, st):
+        self.sched = sched
+        self.st = st
+        #: MPE work queue: (kind, payload, cost) items.
+        self.work: collections.deque = collections.deque()
+        #: Ghost slabs whose destination patch has no producer output yet.
+        self.pending_unpacks: dict[tuple[str, str, int], list] = {}
+        #: Posted receives not yet harvested: (spec, request).
+        self.recv_watch: list[tuple[MessageSpec, object]] = []
+        #: In-flight allreduces: (request, task, t_start).
+        self.pending_reductions: list[tuple[object, DetailedTask, float]] = []
+        #: This step's outgoing sends (drained at step end).
+        self.send_reqs: list = []
+        #: Old-DW variables die after their last consumer reads them.
+        self.scrub_counts: dict[tuple[str, int], int] = (
+            dict(sched.graph.old_dw_consumers(sched.rank)) if sched.scrub else {}
+        )
+
+    # ------------------------------------------------------------ queueing
+    def queue_copy(self, spec: CopySpec) -> None:
+        self.work.append(("copy", spec, self.sched.costs.pack_time(spec.ncells, remote=False)))
+
+    def queue_send(self, spec: MessageSpec, from_bootstrap: bool = False) -> None:
+        # cross-step slabs produced now are consumed next step; at
+        # bootstrap they feed the current step from the init data
+        st = self.st
+        cost = self.sched.costs.pack_time(spec.region.num_cells, remote=True)
+        cost += self.sched.costs.sched.send_post
+        if spec.cross_step and not from_bootstrap:
+            self.work.append(("send", (spec, st.next_tag_base, "new"), cost))
+        else:
+            src_dw = "old" if spec.cross_step else spec.dw
+            self.work.append(("send", (spec, st.tag_base, src_dw), cost))
+
+    def queue_unpack(self, spec: MessageSpec, payload) -> None:
+        cost = self.sched.costs.pack_time(spec.region.num_cells, remote=True)
+        self.work.append(("unpack", (spec, payload), cost))
+
+    def queue_startup(self) -> None:
+        """Startup sends and copies: old-DW ghost data (and bootstrap)."""
+        sched, st = self.sched, self.st
+        graph, rank = sched.graph, sched.rank
+        for spec in graph.startup_sends(rank):
+            self.queue_send(spec)
+            if spec.dw == "old" and sched.scrub:
+                self.count_old_reader(spec.label.name, spec.from_patch.patch_id)
+        if st.bootstrap:
+            for spec in graph.bootstrap_sends(rank):
+                self.queue_send(spec, from_bootstrap=True)
+                if sched.scrub:
+                    self.count_old_reader(spec.label.name, spec.from_patch.patch_id)
+        for spec in graph.startup_copies(rank):
+            self.queue_copy(spec)
+
+    # ------------------------------------------------------------ receives
+    def post_recvs(self) -> _t.Generator:
+        """Post non-blocking receives for every remote input (step 3a)."""
+        sched, st = self.sched, self.st
+        my_recvs = [m for d in st.local for m in sched.graph.recvs_for(d)]
+        if my_recvs:
+            yield from sched._mpe("post-recvs", sched.costs.sched.recv_post * len(my_recvs))
+            for spec in my_recvs:
+                req = sched.comm.irecv(source=spec.from_rank, tag=st.tag_base + spec.tag)
+                self.recv_watch.append((spec, req))
+
+    def harvest_recvs(self) -> list | None:
+        """(3c) test MPI: collect completed receives (plain, no yields)."""
+        still = []
+        harvested = []
+        for spec, req in self.recv_watch:
+            if req.complete:
+                harvested.append((spec, req.value))
+            else:
+                still.append((spec, req))
+        if not harvested:
+            return None
+        self.recv_watch = still
+        return harvested
+
+    def unpack_harvested(self, harvested: list) -> _t.Generator:
+        """Charge the MPI test and queue unpacks for harvested receives."""
+        yield from self.sched._mpe("mpi-test", self.sched.costs.sched.mpi_test)
+        for spec, payload in harvested:
+            self.queue_unpack(spec, payload)
+
+    # ------------------------------------------------------------ scrubbing
+    def count_old_reader(self, label_name: str, pid: int) -> None:
+        key = (label_name, pid)
+        self.scrub_counts[key] = self.scrub_counts.get(key, 0) + 1
+
+    def consume_old(self, label_name: str, pid: int) -> None:
+        sched = self.sched
+        if not sched.scrub:
+            return
+        key = (label_name, pid)
+        left = self.scrub_counts.get(key)
+        if left is None:
+            return
+        if left <= 1:
+            del self.scrub_counts[key]
+            if sched.real and self.st.old_dw is not None:
+                self.st.old_dw.scrub_named(label_name, pid)
+            sched.lifecycle.emit("scrubbed")
+        else:
+            self.scrub_counts[key] = left - 1
+
+    # ------------------------------------------------------------ effects
+    def apply_copy(self, spec: CopySpec) -> None:
+        sched, st = self.sched, self.st
+        sched.lifecycle.emit("local-copy")
+        if sched.real:
+            dw = st.dw_for(spec.dw)
+            data = dw.get(spec.label, spec.from_patch).get_region(spec.region)
+            if dw.exists(spec.label, spec.to_patch):
+                dw.get(spec.label, spec.to_patch).set_region(spec.region, data)
+            else:
+                # the destination patch's own producer has not run yet:
+                # stash the slab; flush_stash applies it on completion
+                key = (spec.dw, spec.label.name, spec.to_patch.patch_id)
+                self.pending_unpacks.setdefault(key, []).append((spec.region, data))
+        if spec.dw == "old":
+            self.consume_old(spec.label.name, spec.from_patch.patch_id)
+
+    def apply_send(self, spec: MessageSpec, tagb: int, src_dw: str) -> None:
+        sched, st = self.sched, self.st
+        payload = None
+        if sched.real:
+            dw = st.dw_for(src_dw)
+            payload = dw.get(spec.label, spec.from_patch).get_region(spec.region)
+        req = sched.comm.isend(
+            dest=spec.to_rank,
+            tag=tagb + spec.tag,
+            nbytes=spec.nbytes,
+            payload=payload,
+        )
+        if tagb == st.next_tag_base:
+            # consumed by the next timestep: completion is tracked
+            # across the step boundary, never blocking this step
+            sched._carryover_sends.append(req)
+        else:
+            self.send_reqs.append(req)
+        sched.lifecycle.emit("msg-sent", nbytes=spec.nbytes)
+        if src_dw == "old":
+            self.consume_old(spec.label.name, spec.from_patch.patch_id)
+
+    def apply_unpack(self, spec: MessageSpec, payload) -> None:
+        sched, st = self.sched, self.st
+        sched.lifecycle.emit("msg-recv")
+        if sched.real:
+            dw = st.dw_for(spec.dw)
+            if dw.exists(spec.label, spec.to_patch):
+                dw.get(spec.label, spec.to_patch).set_region(spec.region, payload)
+            else:
+                # producer for this patch has not run yet: stash the slab
+                key = (spec.dw, spec.label.name, spec.to_patch.patch_id)
+                self.pending_unpacks.setdefault(key, []).append((spec.region, payload))
+        st.tracker.release(spec.consumer.dt_id)
+
+    def flush_stash(self, dt: DetailedTask) -> None:
+        sched = self.sched
+        if not sched.real or dt.patch is None:
+            return
+        for label in dt.task.computes:
+            key = ("new", label.name, dt.patch.patch_id)
+            for region, payload in self.pending_unpacks.pop(key, ()):
+                self.st.new_dw.get(label, dt.patch).set_region(region, payload)
+
+    def apply(self, kind: str, payload) -> None:
+        """Apply one charged work item's effects (copy / send / unpack)."""
+        if kind == "copy":
+            self.apply_copy(payload)
+            self.st.tracker.release(payload.consumer.dt_id)
+        elif kind == "send":
+            self.apply_send(*payload)
+        elif kind == "unpack":
+            self.apply_unpack(*payload)
+
+    # ------------------------------------------------------------ reductions
+    def start_reduction(self, dt: DetailedTask) -> _t.Generator:
+        """Combine local patch values and post the allreduce (step 3d)."""
+        sched, st = self.sched, self.st
+        sched.lifecycle.transition(dt, TaskState.DISPATCHED)
+        sched.lifecycle.transition(dt, TaskState.RUNNING)
+        partial = 0.0
+        if sched.real and dt.task.action is not None:
+            values = [
+                dt.task.action(sched._ctx(p, st)) for p in sched._local_patches
+            ]
+            partial = values[0] if values else 0.0
+            for v in values[1:]:
+                partial = dt.task.reduction_op(partial, v)
+        yield from sched._mpe(
+            f"reduce-local:{dt.name}",
+            sched.costs.reduction_local_time(len(sched._local_patches)),
+        )
+        req = sched.comm.iallreduce(partial, op=dt.task.reduction_op)
+        self.pending_reductions.append((req, dt, sched.sim.now))
+
+    def finish_reductions(self) -> _t.Generator:
+        """Finalize reduction tasks whose allreduce completed."""
+        sched, st = self.sched, self.st
+        done_reds = [t for t in self.pending_reductions if t[0].complete]
+        if not done_reds:
+            return False
+        for req, dt, _t0 in done_reds:
+            self.pending_reductions.remove((req, dt, _t0))
+            label = dt.task.computes[0]
+            st.new_dw.put_reduction(label, req.value)
+            yield from sched._mpe(f"reduce-finish:{dt.name}", sched.costs.sched.mpi_test)
+            sched.finish_task(st, self, dt)
+            sched.lifecycle.emit("reduction")
+        return True
+
+    # ------------------------------------------------------------ waiting
+    def wait_events(self) -> list:
+        """Events an idle MPE can block on: receives and allreduces."""
+        events = [req.event for _s, req in self.recv_watch if not req.complete]
+        events.extend(req.event for req, _d, _t0 in self.pending_reductions)
+        return events
+
+    def drain_sends(self) -> _t.Generator:
+        """Block until this step's outgoing sends completed (idle time)."""
+        sched = self.sched
+        unfinished = [r for r in self.send_reqs if not r.complete]
+        if unfinished:
+            t0 = sched.sim.now
+            yield sched.sim.all_of([r.event for r in unfinished])
+            sched.lifecycle.emit("idle", seconds=sched.sim.now - t0)

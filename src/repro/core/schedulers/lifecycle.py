@@ -1,0 +1,244 @@
+"""Task-lifecycle state machine and event layer.
+
+Every scheduler drives its tasks through one explicit state machine::
+
+    pending -> ready -> dispatched -> running -> retiring -> done
+                  ^                      |
+                  |                      v
+                  +------ retry ------ failed ---- fallback --> running
+
+and announces each move as a :class:`LifecycleEvent`.  Cross-cutting
+concerns *subscribe* to the stream instead of being hand-threaded
+through the scheduling loop:
+
+* :class:`StatsSubscriber` folds events into
+  :class:`~repro.core.schedulers.base.SchedulerStats` counters;
+* :class:`TraceSubscriber` forwards span-carrying events to the
+  :class:`~repro.core.trace.Tracer`;
+* :class:`RetryGovernor` — the ``repro.faults`` resilience hook — counts
+  ``FAILED`` transitions per task and answers whether the policy allows
+  another re-offload or demands the MPE fallback.
+
+Besides transitions, schedulers emit *named* events (``msg-sent``,
+``local-copy``, ``scrubbed``, ``idle`` …) for work that is real but not
+a task state change; the mapping to counters lives in one place,
+:class:`StatsSubscriber`.  See ``docs/ARCHITECTURE.md`` for the layer
+diagram.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as _t
+
+
+class TaskState(enum.Enum):
+    """Where one detailed task is in its per-timestep life."""
+
+    PENDING = "pending"
+    READY = "ready"
+    DISPATCHED = "dispatched"
+    RUNNING = "running"
+    RETIRING = "retiring"
+    DONE = "done"
+    FAILED = "failed"
+
+
+#: Legal moves.  FAILED -> READY is a re-offload retry; FAILED -> RUNNING
+#: is the sync-mode in-place respawn or the MPE fallback execution.
+_ALLOWED: dict[TaskState, frozenset[TaskState]] = {
+    TaskState.PENDING: frozenset({TaskState.READY}),
+    TaskState.READY: frozenset({TaskState.DISPATCHED}),
+    TaskState.DISPATCHED: frozenset({TaskState.RUNNING}),
+    TaskState.RUNNING: frozenset({TaskState.RETIRING, TaskState.FAILED}),
+    TaskState.RETIRING: frozenset({TaskState.DONE}),
+    TaskState.FAILED: frozenset({TaskState.READY, TaskState.RUNNING}),
+    TaskState.DONE: frozenset(),
+}
+
+
+class IllegalTransition(RuntimeError):
+    """A scheduler tried a move the state machine forbids (runtime bug)."""
+
+
+class LifecycleEvent:
+    """One announcement: a state transition or a named runtime event.
+
+    ``info`` carries free-form details; two keys have layer-wide meaning:
+    ``span=(lane, name, t0, t1)`` asks the trace subscriber to record a
+    busy interval, and counter-specific keys (``nbytes``, ``seconds``,
+    ``n``, ``retry``, ``cause``, ``backend``) drive the stats mapping.
+    """
+
+    __slots__ = ("kind", "dt", "state", "t", "info")
+
+    def __init__(self, kind, dt, state, t, info):
+        self.kind = kind
+        self.dt = dt
+        self.state = state
+        self.t = t
+        self.info = info
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        what = self.state.name if self.state is not None else self.kind
+        who = self.dt.name if self.dt is not None else "-"
+        return f"<LifecycleEvent {what} {who} t={self.t:.6g}>"
+
+
+class _ZeroClock:
+    """Stand-in clock for lifecycles detached from a simulator."""
+
+    now = 0.0
+
+
+class TaskLifecycle:
+    """Per-scheduler state machine; reset at every timestep boundary.
+
+    ``clock`` is anything with a ``.now`` attribute (normally the DES
+    simulator).  The subscriber loop is inlined into :meth:`transition`
+    and :meth:`emit` — this sits inside the hottest scheduler path, and
+    every event fires tens of thousands of times per run.
+    """
+
+    def __init__(self, clock=None):
+        self._clock = clock if clock is not None else _ZeroClock
+        self._subs: list[_t.Callable[[LifecycleEvent], None]] = []
+        self._state: dict[int, TaskState] = {}
+
+    def subscribe(self, fn: _t.Callable[[LifecycleEvent], None]) -> None:
+        """Register an observer called synchronously on every event."""
+        self._subs.append(fn)
+
+    def begin_step(self, tasks) -> None:
+        """Register this timestep's tasks (all PENDING) and announce it."""
+        self._state = {dt.dt_id: TaskState.PENDING for dt in tasks}
+        ev = LifecycleEvent("step-begin", None, None, self._clock.now, {})
+        for fn in self._subs:
+            fn(ev)
+
+    def state_of(self, dt) -> TaskState | None:
+        """Current state of one task (None when not registered)."""
+        return self._state.get(dt.dt_id)
+
+    def transition(self, dt, state: TaskState, **info) -> None:
+        """Move ``dt`` to ``state``, validating legality, and announce."""
+        cur = self._state.get(dt.dt_id)
+        if cur is None:
+            raise IllegalTransition(f"task {dt.dt_id} is not part of this timestep")
+        if state not in _ALLOWED[cur]:
+            raise IllegalTransition(f"{dt.name}: illegal transition {cur.name} -> {state.name}")
+        self._state[dt.dt_id] = state
+        ev = LifecycleEvent("transition", dt, state, self._clock.now, info)
+        for fn in self._subs:
+            fn(ev)
+
+    def retire(self, dt, **info) -> None:
+        """Finish a task: RETIRING (unless already there) then DONE."""
+        if self._state.get(dt.dt_id) is not TaskState.RETIRING:
+            self.transition(dt, TaskState.RETIRING)
+        self.transition(dt, TaskState.DONE, **info)
+
+    def emit(self, kind: str, dt=None, **info) -> None:
+        """Announce a named (non-transition) runtime event."""
+        ev = LifecycleEvent(kind, dt, None, self._clock.now, info)
+        for fn in self._subs:
+            fn(ev)
+
+
+class StatsSubscriber:
+    """Folds lifecycle events into ``SchedulerStats`` counters.
+
+    This is the single place mapping runtime happenings to the paper's
+    counters; schedulers and engines never touch the stats object.
+    """
+
+    def __init__(self, stats):
+        self.stats = stats
+
+    def __call__(self, ev: LifecycleEvent) -> None:
+        s = self.stats
+        kind = ev.kind
+        if kind == "transition":
+            state, info = ev.state, ev.info
+            if state is TaskState.DONE:
+                s.tasks_run += 1
+            elif state is TaskState.RUNNING:
+                backend = info.get("backend")
+                if backend == "cpe":
+                    if info.get("retry"):
+                        s.kernel_retries += 1
+                    else:
+                        s.kernels_offloaded += 1
+                elif backend == "mpe":
+                    s.kernels_on_mpe += 1
+                elif backend == "mpe_fallback":
+                    s.mpe_fallbacks += 1
+                    s.kernels_on_mpe += 1
+            elif state is TaskState.READY and info.get("retry"):
+                s.kernel_retries += 1
+            elif state is TaskState.FAILED and info.get("cause") == "timeout":
+                s.kernel_timeouts += 1
+        elif kind == "msg-sent":
+            s.messages_sent += 1
+            s.bytes_sent += ev.info["nbytes"]
+        elif kind == "msg-recv":
+            s.messages_received += 1
+        elif kind == "local-copy":
+            s.local_copies += 1
+        elif kind == "reduction":
+            s.reductions += 1
+        elif kind == "scrubbed":
+            s.scrubbed += 1
+        elif kind == "flops":
+            s.kernel_flops += ev.info["n"]
+        elif kind == "idle":
+            s.idle_wait += ev.info["seconds"]
+        elif kind == "spin":
+            s.spin_wait += ev.info["seconds"]
+        elif kind == "straggler":
+            s.stragglers_detected += 1
+        elif kind == "kernel-timeout":
+            s.kernel_timeouts += 1
+        elif kind == "kernel-retry":
+            s.kernel_retries += 1
+
+
+class TraceSubscriber:
+    """Records every span-carrying event on the execution tracer."""
+
+    def __init__(self, trace, rank: int):
+        self.trace = trace
+        self.rank = rank
+
+    def __call__(self, ev: LifecycleEvent) -> None:
+        span = ev.info.get("span")
+        if span is not None:
+            lane, name, t0, t1 = span
+            self.trace.record(self.rank, lane, name, t0, t1)
+
+
+class RetryGovernor:
+    """Resilience-policy arbiter fed by FAILED transitions.
+
+    Subscribes to the lifecycle stream, counts how often each task has
+    failed this timestep (timeouts and DMA errors alike), and decides —
+    per :class:`~repro.faults.policies.ResiliencePolicy` — whether the
+    offload engine may retry or must fall back to the MPE.
+    """
+
+    def __init__(self, policy):
+        self.policy = policy
+        self.failures: dict[int, int] = {}
+
+    def __call__(self, ev: LifecycleEvent) -> None:
+        if ev.kind == "step-begin":
+            self.failures.clear()
+        elif ev.kind == "transition" and ev.state is TaskState.FAILED:
+            self.failures[ev.dt.dt_id] = self.failures.get(ev.dt.dt_id, 0) + 1
+
+    def should_retry(self, dt) -> bool:
+        """Whether the policy grants this task another offload attempt."""
+        return (
+            self.policy is not None
+            and self.failures.get(dt.dt_id, 0) <= self.policy.max_offload_retries
+        )

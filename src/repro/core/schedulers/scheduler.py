@@ -1,206 +1,166 @@
 """The Sunway-specific task scheduler (paper Sec. V).
 
 One rank's scheduler drives one timestep of the compiled task graph as a
-DES process.  It implements the MPE task scheduler of Sec. V-C:
+DES process, implementing the MPE task scheduler of Sec. V-C: post
+receives (3a), send locally-owned old-DW ghost slabs, then loop retiring
+completed kernels, dispatching ready work onto the execution backend and
+interleaving MPI tests, ghost copies, unpacks and reductions (3b-3d).
 
-1. post non-blocking receives for every remote input (step 3a);
-2. pack and send old-DW ghost slabs owned locally (data "depending on
-   remote data" on the consumer side);
-3. loop: when the CPE completion flag is set, post the finished task's
-   sends, select the next ready offloadable task, process its MPE part,
-   clear the flag and offload (steps 3b i-iv); meanwhile test MPI and
-   execute other MPE work — ghost copies, unpacks, reduction tasks
-   (steps 3c, 3d).
+This module is only the *orchestrator*; the machinery lives in layered
+engines (see ``docs/ARCHITECTURE.md`` for the full picture):
 
-Modes (Sec. V-C last paragraph):
+* :mod:`~repro.core.schedulers.lifecycle` — the task state machine and
+  event bus that stats, tracing and resilience subscribe to;
+* :mod:`~repro.core.schedulers.commengine` — recv posting, ghost
+  pack/send/unpack, local copies, reductions, scrub accounting;
+* :mod:`~repro.core.schedulers.offload` — CPE flight tracking, the
+  watchdog/retry/MPE-fallback recovery ladder, and the
+  memory-interference debt model of Sec. VII-C;
+* :mod:`~repro.core.schedulers.selection` — ready-queue ordering
+  strategies (``fifo`` / ``max_dependents`` / ``most_messages`` /
+  ``critical_path``);
+* :mod:`~repro.core.schedulers.backends` — where kernels execute.
 
-* ``async``  — offload returns immediately; MPE work overlaps the kernel.
-* ``sync``   — after offloading, the MPE spins on the flag; nothing
-  overlaps.
-* ``mpe_only`` — kernels execute on the MPE itself.
+The paper's modes (Sec. V-C last paragraph) map one-to-one onto
+backends, resolved once at construction — the only place a mode string
+is interpreted:
 
-Memory-interference model
--------------------------
-MPE and CPEs share one memory controller.  When the asynchronous
-scheduler packs/copies ghost slabs *while* a kernel runs, that traffic
-competes with the kernel's DMA.  The scheduler accumulates the MPE busy
-time actually overlapped with each kernel and, on retiring the kernel,
-charges an interference debt of ``interference * overlapped-MPE-busy``
-as extra kernel time.  The vectorized kernel, being closer to
-memory-bound, carries a much larger factor — this reproduces the paper's
-observation that "smaller improvements are seen with the vectorized
-kernel than the non-vectorized kernel" (Sec. VII-C).  The synchronous
-mode's spinning MPE issues no bulk traffic, so its kernels run clean and
-its debt is structurally zero.
-
-Resilience
-----------
-With a :class:`~repro.faults.policies.ResiliencePolicy` attached the
-scheduler stops assuming a fault-free machine:
-
-* a completion-timeout **watchdog** aborts offload slots whose flag was
-  never bumped (hung CPE), re-offloads the kernel up to
-  ``max_offload_retries`` times and then executes it on the **MPE as a
-  fallback**;
-* kernels that complete *with an error* (simulated DMA fault) follow the
-  same re-offload/fallback path — their data effects were never
-  published, so re-execution is safe;
-* completed kernels slower than ``straggler_factor`` times their
-  cost-model estimate are counted as **stragglers** (and traced);
-* at each timestep boundary the attached
-  :class:`~repro.faults.injector.FaultInjector` may declare this rank
-  **failed**, aborting the run for checkpoint recovery
-  (:class:`~repro.faults.recovery.ResilientRunner`).
-
-All recovery work is traced under ``recover-*`` span names, and the
-counters land in :class:`~repro.core.schedulers.base.SchedulerStats` —
-structurally zero in a fault-free run.
+* ``async``  — non-blocking :class:`CPEBackend`; MPE work overlaps the
+  kernel and is charged interference debt on retirement.
+* ``sync``   — blocking :class:`CPEBackend`; the MPE spins on the
+  completion flag, nothing overlaps, debt is structurally zero.
+* ``mpe_only`` — :class:`MPEBackend`; kernels run on the management
+  core.
 """
 
 from __future__ import annotations
 
-import collections
-import dataclasses
 import typing as _t
 
 from repro.core.datawarehouse import DataWarehouse
-from repro.core.schedulers.base import DeadlockError, ReadinessTracker, SchedulerStats
-from repro.core.task import DetailedTask, Task, TaskContext, TaskKind
-from repro.core.taskgraph import CopySpec, MessageSpec, TaskGraph
-from repro.core.trace import Tracer
-from repro.des import Simulator
-from repro.des.event import Event
-from repro.simmpi.comm import Comm
-from repro.sunway.athread import AthreadRuntime, CompletionFlag
+from repro.core.schedulers.backends import CPEBackend, MPEBackend
+from repro.core.schedulers.base import DeadlockError, SchedulerCore, StepContext
+from repro.core.schedulers.commengine import CommEngine
+from repro.core.schedulers.lifecycle import TaskState
+from repro.core.schedulers.offload import InterferenceModel, OffloadEngine
+from repro.core.task import DetailedTask, TaskKind
 
 MODES = ("async", "sync", "mpe_only")
 
-
-@dataclasses.dataclass
-class _Flight:
-    """One offloaded kernel the scheduler is tracking."""
-
-    handle: object  # OffloadHandle
-    dt: DetailedTask
-    #: Fault-free duration estimate (launch + kernel), for straggler and
-    #: timeout thresholds.
-    expected: float
-    #: Watchdog deadline (inf when no policy / no hang risk).
-    deadline: float
-    t_launch: float
+_BACKENDS = {
+    "async": lambda: CPEBackend(blocking=False),
+    "sync": lambda: CPEBackend(blocking=True),
+    "mpe_only": MPEBackend,
+}
 
 
-class SunwayScheduler:
+def _is_mpe_kind(d: DetailedTask) -> bool:
+    return d.task.kind is TaskKind.MPE
+
+
+def _is_reduction(d: DetailedTask) -> bool:
+    return d.task.kind is TaskKind.REDUCTION
+
+
+class SunwayScheduler(SchedulerCore):
     """Executes one rank's share of a task graph, timestep by timestep."""
 
-    def __init__(
-        self,
-        sim: Simulator,
-        rank: int,
-        graph: TaskGraph,
-        comm: Comm,
-        athread: AthreadRuntime,
-        cost_model,
-        mode: str = "async",
-        real: bool = True,
-        trace: Tracer | None = None,
-        interference_scalar: float = 0.04,
-        interference_simd: float = 0.50,
-        scrub: bool = True,
-        select_policy: str = "fifo",
-        noise=None,
-        faults=None,
-        resilience=None,
-    ):
+    def __init__(self, *args, **kwargs):
+        mode = kwargs.get("mode", args[6] if len(args) > 6 else "async")
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
-        self.sim = sim
-        self.rank = rank
-        self.graph = graph
-        self.comm = comm
-        self.athread = athread
-        self.costs = cost_model
-        self.mode = mode
-        self.real = real
-        self.trace = trace if trace is not None else Tracer(enabled=False)
-        self.stats = SchedulerStats()
-        self.interference = (
-            interference_simd if getattr(cost_model, "simd", False) else interference_scalar
-        )
-        self._local_patches = [
-            p for p in graph.grid.patches() if graph.assignment[p.patch_id] == rank
-        ]
-        #: True while a kernel is offloaded; _mpe() accumulates the MPE
-        #: busy time overlapping it (the interference-debt input).
-        self._kernel_inflight = False
-        self._overlap_busy = 0.0
-        #: Cross-step sends still in flight from previous timesteps.
-        self._carryover_sends: list = []
-        #: Fault injector and resilience policy (both optional; the
-        #: fault-free fast path must stay byte-identical to the seed).
-        self.faults = faults
-        self.policy = resilience
+        super().__init__(*args, **kwargs)
         #: The watchdog only arms when a kernel can actually hang —
         #: timeout events per wait iteration are not free.
         self._watchdog = (
-            resilience is not None and faults is not None and faults.can_hang
+            self.policy is not None and self.faults is not None and self.faults.can_hang
         )
-        #: Scrub old-DW variables once their last consumer has read them.
-        self.scrub = scrub
-        #: Machine-noise stream (paper Sec. VII-A instabilities); quiet
-        #: by default.
-        from repro.core.noise import NO_NOISE
-
-        self._noise = (noise if noise is not None else NO_NOISE).for_rank(rank)
-        #: Ready-queue ordering for step 3(b)ii "select a ready offloadable
-        #: task".  Uintah sorts its queue; supported policies:
-        #: ``fifo`` (the paper's implicit order), ``max_dependents``
-        #: (unlock the most local downstream work first), ``most_messages``
-        #: (feed remote neighbours first — drives the cross-rank pipeline).
-        if select_policy not in ("fifo", "max_dependents", "most_messages"):
-            raise ValueError(f"unknown select_policy {select_policy!r}")
-        self.select_policy = select_policy
-        if select_policy == "fifo":
-            self._select_key = None
-        elif select_policy == "max_dependents":
-            scores = {
-                dt.dt_id: len(graph.dependents_of(dt))
-                for dt in graph.local_tasks(rank)
-            }
-            self._select_key = lambda dt: scores.get(dt.dt_id, 0)
-        else:  # most_messages
-            scores = {
-                dt.dt_id: sum(m.nbytes for m in graph.sends_after(dt))
-                for dt in graph.local_tasks(rank)
-            }
-            self._select_key = lambda dt: scores.get(dt.dt_id, 0)
+        #: Shared-memory-controller interference debt (persists across
+        #: steps; structurally idle outside async mode).
+        self.interference_model = InterferenceModel(self.interference)
+        #: Kernel execution strategy — the only mode-string resolution.
+        self.backend = _BACKENDS[mode]()
 
     # ------------------------------------------------------------------ helpers
-    def _mpe(self, name: str, cost: float):
+    def _mpe(self, name: str, cost: float) -> _t.Generator:
         """Charge MPE time and trace it.
 
         While a kernel is in flight (async mode), MPE bulk work competes
-        with CPE DMA for the shared memory controller: the busy time is
-        accumulated and later charged back as kernel interference debt.
+        with CPE DMA for the shared memory controller: the busy time
+        feeds the :class:`InterferenceModel`'s debt pool.  Spans here are
+        traced directly (not via lifecycle events): this is the hottest
+        path in the DES loop and carries no task-state information.
         """
         cost = self._noise.mpe(cost)
         t0 = self.sim.now
         yield self.sim.timeout(cost)
-        if self._kernel_inflight:
-            self._overlap_busy += cost
+        im = self.interference_model
+        if im.kernel_inflight:
+            im.overlap_busy += cost
         self.trace.record(self.rank, "mpe", name, t0, self.sim.now)
 
-    def _ctx(self, patch, old_dw, new_dw, time, dt, step) -> TaskContext:
-        return TaskContext(
-            grid=self.graph.grid,
-            patch=patch,
-            old_dw=old_dw,
-            new_dw=new_dw,
-            time=time,
-            dt=dt,
-            step=step,
-            params=getattr(self, "params", {}),
-        )
+    def run_mpe_part(self, st: StepContext, dt: DetailedTask) -> _t.Generator:
+        """Run a task's serial MPE preparation part once (step 3b iii)."""
+        cost = self.costs.mpe_part_time(dt.task, dt.patch, self.graph.grid)
+        if cost > 0:
+            if self.real and dt.task.mpe_action is not None:
+                dt.task.mpe_action(self._ctx(dt.patch, st))
+            yield from self._mpe(f"mpe-part:{dt.name}", cost)
+        st.prepared.add(dt.dt_id)
+
+    def kernel_action(self, st: StepContext, dt: DetailedTask):
+        """The task's real numeric action bound to this step's context."""
+        if not self.real or dt.task.action is None:
+            return None
+        ctx = self._ctx(dt.patch, st)
+        return lambda: dt.task.action(ctx)
+
+    def finish_task(self, st: StepContext, comm: CommEngine, dt: DetailedTask) -> None:
+        """Retire a completed task: publish effects, release dependents."""
+        self.lifecycle.retire(dt)
+        st.remaining.discard(dt.dt_id)
+        comm.flush_stash(dt)
+        for spec in self.graph.sends_after(dt):
+            comm.queue_send(spec)
+        for spec in self.graph.copies_after(dt):
+            comm.queue_copy(spec)
+        for dep in self.graph.dependents_of(dt):
+            st.tracker.release(dep.dt_id)
+        if dt.patch is not None:
+            for dep in dt.task.requires:
+                if dep.dw == "old" and not dep.label.is_reduction:
+                    comm.consume_old(dep.label.name, dt.patch.patch_id)
+
+    def _run_mpe_task(self, st, comm, nxt: DetailedTask) -> _t.Generator:
+        """(3d) small MPE-kind task: select, prepare, execute, finish."""
+        self.lifecycle.transition(nxt, TaskState.DISPATCHED)
+        yield from self._mpe("task-select", self.costs.sched.task_select)
+        if nxt.dt_id not in st.prepared:
+            yield from self.run_mpe_part(st, nxt)
+        self.lifecycle.transition(nxt, TaskState.RUNNING)
+        action = self.kernel_action(st, nxt)
+        if action is not None:
+            action()
+        yield from self._mpe(f"mpe-task:{nxt.name}", self.costs.mpe_task_time(nxt.task, nxt.patch))
+        self.finish_task(st, comm, nxt)
+
+    def _idle_wait(self, st, comm, offload) -> _t.Generator:
+        """Nothing runnable: block on the next interesting event."""
+        events = offload.wait_events()
+        events.extend(comm.wait_events())
+        # a stuck kernel's event never fires — wake at the nearest
+        # watchdog deadline instead of sleeping forever
+        deadline = offload.deadline_event()
+        if deadline is not None:
+            events.append(deadline)
+        if not events:
+            raise DeadlockError(
+                f"rank {self.rank} step {st.step}: {len(st.remaining)} tasks stuck, "
+                f"no events to wait on (task-graph bug?)"
+            )
+        t0 = self.sim.now
+        yield self.sim.any_of(events)
+        self.lifecycle.emit("idle", seconds=self.sim.now - t0)
 
     # ------------------------------------------------------------------ timestep
     def execute_timestep(
@@ -211,7 +171,7 @@ class SunwayScheduler:
         old_dw: DataWarehouse | None,
         new_dw: DataWarehouse,
         bootstrap: bool = False,
-    ):
+    ) -> _t.Generator:
         """DES process: run every local detailed task of one timestep.
 
         ``bootstrap`` marks the first timestep after initialization: the
@@ -219,546 +179,74 @@ class SunwayScheduler:
         cross-step messages are sent at step start instead of having been
         posted by the previous timestep.
         """
-        sim, graph, rank = self.sim, self.graph, self.rank
-        if self.faults is not None:
-            # Whole-rank failure strikes at timestep boundaries; the
-            # raised RankFailure propagates through the driver process
-            # and aborts Simulator.run for checkpoint recovery.
-            self.faults.on_step_begin(rank, step)
-        local = graph.local_tasks(rank)
-        tracker = ReadinessTracker(local, graph)
-        remaining = {d.dt_id for d in local}
-        tag_base = step * graph.num_tags
-        next_tag_base = (step + 1) * graph.num_tags
+        st = self._begin_step(step, time, dt_value, old_dw, new_dw, bootstrap)
+        comm = CommEngine(self, st)
+        offload = OffloadEngine(self, st, comm)
+        backend = self.backend
 
-        def dw_for(which: str) -> DataWarehouse:
-            if which == "old":
-                if old_dw is None:
-                    raise RuntimeError("graph requires old-DW data but there is no old DW")
-                return old_dw
-            return new_dw
-
-        # ---- MPE work queue: (kind, payload, cost) --------------------------
-        work: collections.deque = collections.deque()
-        pending_unpacks: dict[tuple[str, str, int], list] = {}
-
-        def queue_copy(spec: CopySpec) -> None:
-            work.append(("copy", spec, self.costs.pack_time(spec.ncells, remote=False)))
-
-        def queue_send(spec: MessageSpec, from_bootstrap: bool = False) -> None:
-            # cross-step slabs produced now are consumed next step; at
-            # bootstrap they feed the current step from the init data
-            cost = self.costs.pack_time(spec.region.num_cells, remote=True)
-            cost += self.costs.sched.send_post
-            if spec.cross_step and not from_bootstrap:
-                work.append(("send", (spec, next_tag_base, "new"), cost))
-            else:
-                src_dw = "old" if spec.cross_step else spec.dw
-                work.append(("send", (spec, tag_base, src_dw), cost))
-
-        def queue_unpack(spec: MessageSpec, payload) -> None:
-            cost = self.costs.pack_time(spec.region.num_cells, remote=True)
-            work.append(("unpack", (spec, payload), cost))
-
-        # ---- receive posting (step 3a) -------------------------------------
-        recv_watch: list[tuple[MessageSpec, object]] = []
-        my_recvs = [m for d in local for m in graph.recvs_for(d)]
-        if my_recvs:
-            yield from self._mpe(
-                "post-recvs", self.costs.sched.recv_post * len(my_recvs)
-            )
-            for spec in my_recvs:
-                req = self.comm.irecv(source=spec.from_rank, tag=tag_base + spec.tag)
-                recv_watch.append((spec, req))
-
-        # ---- scrubbing: old-DW variables die after their last consumer ----
-        scrub_counts: dict[tuple[str, int], int] = (
-            dict(graph.old_dw_consumers(rank)) if self.scrub else {}
-        )
-
-        def count_old_reader(label_name: str, pid: int) -> None:
-            key = (label_name, pid)
-            scrub_counts[key] = scrub_counts.get(key, 0) + 1
-
-        def consume_old(label_name: str, pid: int) -> None:
-            if not self.scrub:
-                return
-            key = (label_name, pid)
-            left = scrub_counts.get(key)
-            if left is None:
-                return
-            if left <= 1:
-                del scrub_counts[key]
-                if self.real and old_dw is not None:
-                    old_dw.scrub_named(label_name, pid)
-                self.stats.scrubbed += 1
-            else:
-                scrub_counts[key] = left - 1
-
-        # ---- startup sends and copies (old-DW ghost data) --------------------
-        for spec in graph.startup_sends(rank):
-            queue_send(spec)
-            if spec.dw == "old" and self.scrub:
-                count_old_reader(spec.label.name, spec.from_patch.patch_id)
-        if bootstrap:
-            for spec in graph.bootstrap_sends(rank):
-                queue_send(spec, from_bootstrap=True)
-                if self.scrub:
-                    count_old_reader(spec.label.name, spec.from_patch.patch_id)
-        for spec in graph.startup_copies(rank):
-            queue_copy(spec)
-
+        yield from comm.post_recvs()
+        comm.queue_startup()
         # prune cross-step sends that completed during earlier steps
         self._carryover_sends = [r for r in self._carryover_sends if not r.complete]
 
-        # ---- runtime state ----------------------------------------------------
-        # One offload slot per CPE group; the paper's configuration has a
-        # single group (whole-cluster offload).  The CPE-grouping
-        # extension (Sec. IX future work) runs several patches at once.
-        num_groups = self.athread.num_groups if self.mode == "async" else 1
-        inflight: dict[int, _Flight] = {}
-        prepared: set[int] = set()  # dt_ids whose MPE part already ran
-        pending_reductions: list[tuple[object, DetailedTask, float]] = []
-        send_reqs: list = []
-        flag = CompletionFlag(sim)
-        #: Failed offload attempts per task (resilience bookkeeping).
-        offload_failures: dict[int, int] = {}
-        #: Tasks whose useful flops were already counted (retries and
-        #: fallbacks must not double-count).
-        flops_counted: set[int] = set()
-
-        # ---- work item execution ------------------------------------------------
-        def apply_copy(spec: CopySpec) -> None:
-            self.stats.local_copies += 1
-            if self.real:
-                dw = dw_for(spec.dw)
-                data = dw.get(spec.label, spec.from_patch).get_region(spec.region)
-                if dw.exists(spec.label, spec.to_patch):
-                    dw.get(spec.label, spec.to_patch).set_region(spec.region, data)
-                else:
-                    # the destination patch's own producer has not run yet:
-                    # stash the slab; flush_stash applies it on completion
-                    key = (spec.dw, spec.label.name, spec.to_patch.patch_id)
-                    pending_unpacks.setdefault(key, []).append((spec.region, data))
-            if spec.dw == "old":
-                consume_old(spec.label.name, spec.from_patch.patch_id)
-
-        def apply_send(spec: MessageSpec, tagb: int, src_dw: str) -> None:
-            payload = None
-            if self.real:
-                dw = dw_for(src_dw)
-                payload = dw.get(spec.label, spec.from_patch).get_region(spec.region)
-            req = self.comm.isend(
-                dest=spec.to_rank,
-                tag=tagb + spec.tag,
-                nbytes=spec.nbytes,
-                payload=payload,
-            )
-            if tagb == next_tag_base:
-                # consumed by the next timestep: completion is tracked
-                # across the step boundary, never blocking this step
-                self._carryover_sends.append(req)
-            else:
-                send_reqs.append(req)
-            self.stats.messages_sent += 1
-            self.stats.bytes_sent += spec.nbytes
-            if src_dw == "old":
-                consume_old(spec.label.name, spec.from_patch.patch_id)
-
-        def apply_unpack(spec: MessageSpec, payload) -> None:
-            self.stats.messages_received += 1
-            if self.real:
-                dw = dw_for(spec.dw)
-                if dw.exists(spec.label, spec.to_patch):
-                    dw.get(spec.label, spec.to_patch).set_region(spec.region, payload)
-                else:
-                    # producer for this patch has not run yet: stash the slab
-                    key = (spec.dw, spec.label.name, spec.to_patch.patch_id)
-                    pending_unpacks.setdefault(key, []).append((spec.region, payload))
-            tracker.release(spec.consumer.dt_id)
-
-        def flush_stash(dt: DetailedTask) -> None:
-            if not self.real or dt.patch is None:
-                return
-            for label in dt.task.computes:
-                key = ("new", label.name, dt.patch.patch_id)
-                for region, payload in pending_unpacks.pop(key, ()):
-                    new_dw.get(label, dt.patch).set_region(region, payload)
-
-        def finish_task(dt: DetailedTask) -> None:
-            self.stats.tasks_run += 1
-            remaining.discard(dt.dt_id)
-            flush_stash(dt)
-            for spec in graph.sends_after(dt):
-                queue_send(spec)
-            for spec in graph.copies_after(dt):
-                queue_copy(spec)
-            for dep in graph.dependents_of(dt):
-                tracker.release(dep.dt_id)
-            if dt.patch is not None:
-                for dep in dt.task.requires:
-                    if dep.dw == "old" and not dep.label.is_reduction:
-                        consume_old(dep.label.name, dt.patch.patch_id)
-
-        def run_mpe_part(dt: DetailedTask) -> _t.Generator:
-            cost = self.costs.mpe_part_time(dt.task, dt.patch, graph.grid)
-            if cost > 0:
-                if self.real and dt.task.mpe_action is not None:
-                    dt.task.mpe_action(
-                        self._ctx(dt.patch, old_dw, new_dw, time, dt_value, step)
-                    )
-                yield from self._mpe(f"mpe-part:{dt.name}", cost)
-            prepared.add(dt.dt_id)
-
-        def kernel_action(dt: DetailedTask) -> _t.Callable[[], None] | None:
-            if not self.real or dt.task.action is None:
-                return None
-            ctx = self._ctx(dt.patch, old_dw, new_dw, time, dt_value, step)
-            return lambda: dt.task.action(ctx)
-
-        def count_flops(dt: DetailedTask) -> None:
-            # useful work is counted once per task, however many times a
-            # fault forces it to be re-executed
-            if dt.dt_id not in flops_counted:
-                flops_counted.add(dt.dt_id)
-                self.stats.kernel_flops += self.costs.kernel_flops(dt.task, dt.patch)
-
-        def mpe_fallback(dt: DetailedTask) -> _t.Generator:
-            # last-resort execution on the management core: slow, but
-            # immune to CPE/DMA faults
-            action = kernel_action(dt)
-            if action is not None:
-                action()
-            yield from self._mpe(
-                f"recover-fallback:{dt.name}", self.costs.mpe_kernel_time(dt.task, dt.patch)
-            )
-            self.stats.mpe_fallbacks += 1
-            self.stats.kernels_on_mpe += 1
-            count_flops(dt)
-            finish_task(dt)
-
-        def requeue_or_fallback(dt: DetailedTask) -> _t.Generator:
-            failures = offload_failures.get(dt.dt_id, 0) + 1
-            offload_failures[dt.dt_id] = failures
-            if self.policy is not None and failures <= self.policy.max_offload_retries:
-                self.stats.kernel_retries += 1
-                tracker.ready.insert(0, dt)  # retry ahead of fresh work
-            else:
-                yield from mpe_fallback(dt)
-
-        # ---------------------------------------------------------------- loop
-        def is_offloadable(d: DetailedTask) -> bool:
-            return d.task.kind is TaskKind.CPE_KERNEL
-
-        def is_mpe_kind(d: DetailedTask) -> bool:
-            return d.task.kind is TaskKind.MPE
-
-        def is_reduction(d: DetailedTask) -> bool:
-            return d.task.kind is TaskKind.REDUCTION
-
-        while remaining or work:
+        # the plain-function guards in front of each `yield from` keep the
+        # hot loop from building a delegate generator per engine per
+        # iteration when there is nothing to do (the monolith's inlined
+        # blocks had that property for free)
+        tracker = st.tracker
+        while st.remaining or comm.work:
             progressed = False
 
             # (3c) test MPI: harvest completed receives
-            still = []
-            harvested = []
-            for spec, req in recv_watch:
-                if req.complete:
-                    harvested.append((spec, req.value))
-                else:
-                    still.append((spec, req))
-            if harvested:
-                yield from self._mpe("mpi-test", self.costs.sched.mpi_test)
-                for spec, payload in harvested:
-                    queue_unpack(spec, payload)
-                recv_watch = still
+            harvested = comm.harvest_recvs()
+            if harvested is not None:
+                yield from comm.unpack_harvested(harvested)
                 progressed = True
-
             # completed allreduces -> finalize reduction tasks
-            done_reds = [t for t in pending_reductions if t[0].complete]
-            if done_reds:
-                for req, dt, _t0 in done_reds:
-                    pending_reductions.remove((req, dt, _t0))
-                    label = dt.task.computes[0]
-                    new_dw.put_reduction(label, req.value)
-                    yield from self._mpe(f"reduce-finish:{dt.name}", self.costs.sched.mpi_test)
-                    finish_task(dt)
-                    self.stats.reductions += 1
+            if comm.pending_reductions and (yield from comm.finish_reductions()):
                 progressed = True
-
-            # (3b) completion flag set: retire finished offloaded tasks
-            done_groups = [g for g, fl in inflight.items() if fl.handle.done]
-            for g in done_groups:
-                fl = inflight.pop(g)
-                done_dt = fl.dt
-                if not inflight:
-                    self._kernel_inflight = False
-                if fl.handle.error is not None:
-                    # The kernel died mid-flight (simulated DMA fault): its
-                    # data effects were never published, so re-execution is
-                    # safe.  Fault-oblivious runs propagate the error.
-                    self._overlap_busy = 0.0
-                    if self.policy is None:
-                        raise fl.handle.error
-                    yield from requeue_or_fallback(done_dt)
+            if offload.inflight:
+                # (3b) completion flag set: retire finished offloads
+                if offload.any_done() and (yield from offload.retire_completed()):
                     progressed = True
-                    continue
-                # With multiple CPE groups the accumulated overlapped MPE
-                # traffic is attributed to whichever kernel retires first
-                # (a pooled approximation; exact with one group).
-                debt = self.interference * self._overlap_busy
-                self._overlap_busy = 0.0
-                if debt > 0:
-                    # memory interference from overlapped MPE traffic
-                    # stretched the kernel (see module docstring)
-                    t0 = sim.now
-                    yield sim.timeout(debt)
-                    self.trace.record(
-                        rank, "cpe", f"interference:{done_dt.name}", t0, sim.now
-                    )
-                if (
-                    self.policy is not None
-                    and fl.handle.duration > self.policy.straggler_factor * fl.expected
-                ):
-                    self.stats.stragglers_detected += 1
-                    self.trace.record(
-                        rank, "cpe", f"straggler:{done_dt.name}", fl.t_launch, sim.now
-                    )
-                finish_task(done_dt)
-                progressed = True
-
-            # watchdog: abort offload slots whose completion flag never came
-            # (hung CPE group); armed only when kernels can actually hang
-            if self._watchdog and inflight:
-                overdue = [
-                    g
-                    for g, fl in inflight.items()
-                    if not fl.handle.done and sim.now >= fl.deadline
-                ]
-                for g in overdue:
-                    fl = inflight.pop(g)
-                    self.athread.abort(g)
-                    if not inflight:
-                        self._kernel_inflight = False
-                    self._overlap_busy = 0.0
-                    self.stats.kernel_timeouts += 1
-                    self.trace.record(
-                        rank, "mpe", f"recover-timeout:{fl.dt.name}", fl.t_launch, sim.now
-                    )
-                    yield from requeue_or_fallback(fl.dt)
+                # watchdog: abort offload slots whose completion flag
+                # never came (hung CPE); armed only when kernels can hang
+                if self._watchdog and (yield from offload.watchdog()):
                     progressed = True
-
-            # offload ready kernels onto free CPE groups
-            if self.mode != "mpe_only":
-                for g in range(num_groups):
-                    if g in inflight:
-                        continue
-                    nxt = tracker.pop_ready(is_offloadable, key=self._select_key)
-                    if nxt is None:
-                        break
-                    yield from self._mpe("task-select", self.costs.sched.task_select)
-                    if nxt.dt_id not in prepared:
-                        yield from run_mpe_part(nxt)
-                    duration = self._noise.kernel(
-                        self.costs.cpe_kernel_time(nxt.task, nxt.patch)
-                    )
-                    flag.clear()
-                    t_launch = sim.now
-                    expected = self.athread.launch_latency + duration
-                    handle = self.athread.spawn(
-                        duration=duration,
-                        payload=nxt,
-                        on_complete=kernel_action(nxt),
-                        name=nxt.name,
-                        flag=flag,
-                        group=g,
-                    )
-                    deadline = (
-                        t_launch + self.policy.kernel_timeout(expected)
-                        if self._watchdog
-                        else float("inf")
-                    )
-                    inflight[g] = _Flight(handle, nxt, expected, deadline, t_launch)
-                    self._kernel_inflight = True
-                    self.stats.kernels_offloaded += 1
-                    count_flops(nxt)
-                    self.trace.record(
-                        rank, "cpe", nxt.name, t_launch, t_launch + handle.duration
-                    )
-                    progressed = True
-                    if self.mode == "sync":
-                        # spin on the completion flag: no overlap (Sec. V-C)
-                        t0 = sim.now
-                        fl = inflight.pop(g)
-                        while True:
-                            if self._watchdog:
-                                yield sim.any_of(
-                                    [
-                                        fl.handle.event,
-                                        sim.timeout(max(0.0, fl.deadline - sim.now)),
-                                    ]
-                                )
-                            else:
-                                yield fl.handle.event
-                            if fl.handle.done and fl.handle.error is None:
-                                break  # completed cleanly
-                            if not fl.handle.done:
-                                # flag never came: watchdog fired
-                                self.athread.abort(g)
-                                self.stats.kernel_timeouts += 1
-                            elif self.policy is None:
-                                raise fl.handle.error
-                            failures = offload_failures.get(nxt.dt_id, 0) + 1
-                            offload_failures[nxt.dt_id] = failures
-                            if (
-                                self.policy is not None
-                                and failures <= self.policy.max_offload_retries
-                            ):
-                                self.stats.kernel_retries += 1
-                                h2 = self.athread.spawn(
-                                    duration=duration,
-                                    payload=nxt,
-                                    on_complete=kernel_action(nxt),
-                                    name=nxt.name,
-                                    flag=flag,
-                                    group=g,
-                                )
-                                fl = _Flight(
-                                    h2,
-                                    nxt,
-                                    expected,
-                                    (
-                                        sim.now + self.policy.kernel_timeout(expected)
-                                        if self._watchdog
-                                        else float("inf")
-                                    ),
-                                    sim.now,
-                                )
-                                continue
-                            # retries exhausted: execute on the MPE instead
-                            self._kernel_inflight = False
-                            self._overlap_busy = 0.0
-                            self.stats.spin_wait += sim.now - t0
-                            self.trace.record(rank, "spin", nxt.name, t0, sim.now)
-                            yield from mpe_fallback(nxt)
-                            fl = None
-                            break
-                        if fl is not None:
-                            self._kernel_inflight = False
-                            self._overlap_busy = 0.0
-                            self.stats.spin_wait += sim.now - t0
-                            self.trace.record(rank, "spin", nxt.name, t0, sim.now)
-                            finish_task(nxt)
-                        break
-
-            # MPE-only mode: run kernels on the management core
-            if self.mode == "mpe_only":
-                nxt = tracker.pop_ready(is_offloadable, key=self._select_key)
-                if nxt is not None:
-                    yield from self._mpe("task-select", self.costs.sched.task_select)
-                    if nxt.dt_id not in prepared:
-                        yield from run_mpe_part(nxt)
-                    action = kernel_action(nxt)
-                    if action is not None:
-                        action()
-                    yield from self._mpe(
-                        f"mpe-kernel:{nxt.name}",
-                        self.costs.mpe_kernel_time(nxt.task, nxt.patch),
-                    )
-                    self.stats.kernels_on_mpe += 1
-                    self.stats.kernel_flops += self.costs.kernel_flops(nxt.task, nxt.patch)
-                    finish_task(nxt)
+            # dispatch ready kernels onto the execution backend
+            if tracker.ready and len(offload.inflight) < offload.num_groups:
+                if (yield from backend.run_kernels(self, st, comm, offload)):
                     progressed = True
 
             # (3d) other MPE tasks: small kernels and reductions
-            nxt = tracker.pop_ready(is_mpe_kind)
-            if nxt is not None:
-                yield from self._mpe("task-select", self.costs.sched.task_select)
-                if nxt.dt_id not in prepared:
-                    yield from run_mpe_part(nxt)
-                action = kernel_action(nxt)
-                if action is not None:
-                    action()
-                yield from self._mpe(
-                    f"mpe-task:{nxt.name}", self.costs.mpe_task_time(nxt.task, nxt.patch)
-                )
-                finish_task(nxt)
-                progressed = True
-
-            nxt = tracker.pop_ready(is_reduction)
-            if nxt is not None:
-                partial = 0.0
-                if self.real and nxt.task.action is not None:
-                    values = [
-                        nxt.task.action(
-                            self._ctx(p, old_dw, new_dw, time, dt_value, step)
-                        )
-                        for p in self._local_patches
-                    ]
-                    partial = values[0] if values else 0.0
-                    for v in values[1:]:
-                        partial = nxt.task.reduction_op(partial, v)
-                yield from self._mpe(
-                    f"reduce-local:{nxt.name}",
-                    self.costs.reduction_local_time(len(self._local_patches)),
-                )
-                req = self.comm.iallreduce(partial, op=nxt.task.reduction_op)
-                pending_reductions.append((req, nxt, sim.now))
-                progressed = True
+            if tracker.ready:
+                nxt = tracker.pop_ready(_is_mpe_kind)
+                if nxt is not None:
+                    yield from self._run_mpe_task(st, comm, nxt)
+                    progressed = True
+                nxt = tracker.pop_ready(_is_reduction)
+                if nxt is not None:
+                    yield from comm.start_reduction(nxt)
+                    progressed = True
 
             # one queued MPE work item (copies, packs, unpacks)
-            if work:
-                kind, payload, cost = work.popleft()
+            if comm.work:
+                kind, payload, cost = comm.work.popleft()
                 yield from self._mpe(kind, cost)
-                if kind == "copy":
-                    apply_copy(payload)
-                    tracker.release(payload.consumer.dt_id)
-                elif kind == "send":
-                    apply_send(*payload)
-                elif kind == "unpack":
-                    apply_unpack(*payload)
+                comm.apply(kind, payload)
                 progressed = True
-            elif self.mode == "async" and inflight and tracker.any_ready:
-                # idle MPE during a kernel: pre-process the MPE part of the
-                # next ready kernel so it launches instantly (step 3d
+            elif backend.overlaps and offload.inflight and tracker.ready:
+                # idle MPE during a kernel: pre-process the MPE part of
+                # the next ready kernel so it launches instantly (step 3d
                 # "small kernels").
-                cand = next(
-                    (
-                        d
-                        for d in tracker.ready
-                        if is_offloadable(d) and d.dt_id not in prepared
-                    ),
-                    None,
-                )
+                cand = offload.prefetch_candidate()
                 if cand is not None:
-                    yield from run_mpe_part(cand)
+                    yield from self.run_mpe_part(st, cand)
                     progressed = True
 
             if progressed:
                 continue
-
-            # nothing runnable: wait for the next interesting event
-            events: list[Event] = [fl.handle.event for fl in inflight.values()]
-            events.extend(req.event for _s, req in recv_watch if not req.complete)
-            events.extend(req.event for req, _d, _t0 in pending_reductions)
-            if self._watchdog and inflight:
-                # a stuck kernel's event never fires — wake at the nearest
-                # watchdog deadline instead of sleeping forever
-                next_deadline = min(fl.deadline for fl in inflight.values())
-                if next_deadline < float("inf"):
-                    events.append(sim.timeout(max(0.0, next_deadline - sim.now)))
-            if not events:
-                raise DeadlockError(
-                    f"rank {rank} step {step}: {len(remaining)} tasks stuck, "
-                    f"no events to wait on (task-graph bug?)"
-                )
-            t0 = sim.now
-            yield sim.any_of(events)
-            self.stats.idle_wait += sim.now - t0
+            yield from self._idle_wait(st, comm, offload)
 
         # drain outgoing sends before declaring the timestep done
-        unfinished = [r for r in send_reqs if not r.complete]
-        if unfinished:
-            t0 = sim.now
-            yield sim.all_of([r.event for r in unfinished])
-            self.stats.idle_wait += sim.now - t0
+        yield from comm.drain_sends()

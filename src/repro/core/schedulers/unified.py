@@ -9,47 +9,52 @@ one MPE on each CG, which would limit the scheduler to one thread.  Thus
 the Unified Scheduler is not able to effectively overlap communications
 with computations without a new design."
 
-This module models that scheduler so the claim is measurable: a pool of
-``num_threads`` host worker threads executes ready tasks *and* interleaved
-communication work (ghost packing/unpacking, sends, local copies,
-reductions) from one shared run queue.  With several threads,
+This module models that scheduler so the claim is measurable: a
+:class:`~repro.core.schedulers.backends.HostThreadPoolBackend` pool of
+``num_threads`` host worker threads executes ready tasks *and*
+interleaved communication work (ghost packing/unpacking, sends, local
+copies, reductions) from one shared run queue.  With several threads,
 communication hides behind computation; with the single thread Sunway's
 MPE affords, everything serializes — and the CPE cluster sits unused,
 because the Unified Scheduler predates the offload design.
 
-Use :class:`UnifiedHostScheduler` through
+:class:`UnifiedHostScheduler` composes
+:class:`~repro.core.schedulers.base.SchedulerCore` with that backend —
+it shares the lifecycle/stats/trace wiring with
+:class:`~repro.core.schedulers.scheduler.SunwayScheduler` but is *not* a
+subclass of it (see ``docs/ARCHITECTURE.md``).  Use it through
 :class:`~repro.core.controller.SimulationController` by passing
 ``scheduler_factory`` (see ``examples/unified_vs_sunway.py``).
 """
 
 from __future__ import annotations
 
-import typing as _t
-
 from repro.core.datawarehouse import DataWarehouse
-from repro.core.schedulers.base import DeadlockError, ReadinessTracker, SchedulerStats
-from repro.core.schedulers.scheduler import SunwayScheduler
+from repro.core.schedulers.backends import HostThreadPoolBackend
+from repro.core.schedulers.base import DeadlockError, SchedulerCore
+from repro.core.schedulers.lifecycle import TaskState
 from repro.core.task import DetailedTask, TaskKind
 from repro.core.taskgraph import CopySpec, MessageSpec
-from repro.des.resources import Store
 
 
-class UnifiedHostScheduler(SunwayScheduler):
+class UnifiedHostScheduler(SchedulerCore):
     """MPI + host-threads scheduler (no CPE offload).
 
-    Parameters are those of :class:`SunwayScheduler` plus
-    ``num_threads`` — the host cores available to worker threads.  On
-    SW26010 that is 1 (the MPE); Uintah's production machines give it
-    16-64.  The ``mode`` argument is ignored: this scheduler has exactly
-    one behaviour, Uintah's.
+    Parameters are those of :class:`SchedulerCore` plus ``num_threads``
+    — the host cores available to worker threads.  On SW26010 that is 1
+    (the MPE); Uintah's production machines give it 16-64.  The ``mode``
+    argument is ignored: this scheduler has exactly one behaviour,
+    Uintah's.
     """
 
     def __init__(self, *args, num_threads: int = 1, **kwargs):
         kwargs["mode"] = "mpe_only"  # kernels run on host cores
         super().__init__(*args, **kwargs)
-        if num_threads < 1:
-            raise ValueError(f"need >= 1 worker thread, got {num_threads}")
-        self.num_threads = num_threads
+        self.backend = HostThreadPoolBackend(num_threads)
+
+    @property
+    def num_threads(self) -> int:
+        return self.backend.num_threads
 
     def _host_fault_overhead(self, dt: DetailedTask, cost: float) -> float:
         """Extra host-core seconds an injected kernel fault costs here.
@@ -67,7 +72,7 @@ class UnifiedHostScheduler(SunwayScheduler):
             return 0.0
         if fault.kind == "slowdown":
             if self.policy is not None and fault.factor >= self.policy.straggler_factor:
-                self.stats.stragglers_detected += 1
+                self.lifecycle.emit("straggler", dt)
             return cost * (fault.factor - 1.0)
         wasted = cost if fault.kind == "stuck" else fault.error_frac * cost
         if self.policy is None:
@@ -75,12 +80,13 @@ class UnifiedHostScheduler(SunwayScheduler):
             # nothing detects or recovers the failure
             return wasted
         if fault.kind == "stuck":
-            self.stats.kernel_timeouts += 1
+            self.lifecycle.emit("kernel-timeout", dt)
             wasted = self.policy.kernel_timeout(cost)
-        self.stats.kernel_retries += 1
+        self.lifecycle.emit("kernel-retry", dt)
         return wasted
 
-    # The Unified Scheduler replaces the whole per-timestep loop.
+    # The Unified Scheduler replaces the whole per-timestep loop: the
+    # worker pool drains one run queue of tasks and communication units.
     def execute_timestep(
         self,
         step: int,
@@ -91,68 +97,44 @@ class UnifiedHostScheduler(SunwayScheduler):
         bootstrap: bool = False,
     ):
         sim, graph, rank = self.sim, self.graph, self.rank
-        if self.faults is not None:
-            self.faults.on_step_begin(rank, step)
-        local = graph.local_tasks(rank)
-        tracker = ReadinessTracker(local, graph)
-        remaining = {d.dt_id for d in local}
-        tag_base = step * graph.num_tags
-        next_tag_base = (step + 1) * graph.num_tags
-
-        def dw_for(which: str) -> DataWarehouse:
-            if which == "old":
-                if old_dw is None:
-                    raise RuntimeError("no old DW for old-DW requirement")
-                return old_dw
-            return new_dw
-
-        runq: Store = Store(sim, name=f"unified-runq-r{rank}")
-        outstanding = {"units": 0}
+        st = self._begin_step(step, time, dt_value, old_dw, new_dw, bootstrap)
+        tracker = st.tracker
+        pool = self.backend.start_step(sim, rank)
         send_reqs: list = []
-        done_event = sim.event(name=f"unified-step-done-r{rank}")
-        failure: list[BaseException] = []
-
-        def push(unit) -> None:
-            outstanding["units"] += 1
-            runq.put(unit)
-
-        def unit_done() -> None:
-            outstanding["units"] -= 1
-            if not remaining and outstanding["units"] == 0 and not done_event.triggered:
-                done_event.succeed()
 
         # -- unit builders -------------------------------------------------
         def push_ready_tasks() -> None:
             while tracker.any_ready:
-                push(("task", tracker.ready.pop(0)))
+                dt = tracker.ready.pop(0)
+                self.lifecycle.transition(dt, TaskState.DISPATCHED, backend="host")
+                pool.push(("task", dt))
 
         def push_send(spec: MessageSpec, from_bootstrap: bool = False) -> None:
             if spec.cross_step and not from_bootstrap:
-                push(("send", spec, next_tag_base, "new"))
+                pool.push(("send", spec, st.next_tag_base, "new"))
             else:
-                push(("send", spec, tag_base, "old" if spec.cross_step else spec.dw))
+                pool.push(("send", spec, st.tag_base, "old" if spec.cross_step else spec.dw))
 
         def finish_task(dt: DetailedTask) -> None:
-            self.stats.tasks_run += 1
-            remaining.discard(dt.dt_id)
+            self.lifecycle.retire(dt)
+            st.remaining.discard(dt.dt_id)
             for spec in graph.sends_after(dt):
                 push_send(spec)
             for spec in graph.copies_after(dt):
-                push(("copy", spec))
+                pool.push(("copy", spec))
             for dep in graph.dependents_of(dt):
                 tracker.release(dep.dt_id)
             push_ready_tasks()
-            if not remaining and outstanding["units"] == 0 and not done_event.triggered:
-                done_event.succeed()
+            pool.maybe_finish(not st.remaining)
 
-        # -- communication watchers (event-driven, zero host cost) --------------
+        # -- communication watchers (event-driven, zero host cost) ---------
         def recv_watcher(spec: MessageSpec, req):
             payload = yield req.event
-            push(("unpack", spec, payload))
+            pool.push(("unpack", spec, payload))
 
-        my_recvs = [m for d in local for m in graph.recvs_for(d)]
+        my_recvs = [m for d in st.local for m in graph.recvs_for(d)]
         for spec in my_recvs:
-            req = self.comm.irecv(source=spec.from_rank, tag=tag_base + spec.tag)
+            req = self.comm.irecv(source=spec.from_rank, tag=st.tag_base + spec.tag)
             sim.process(recv_watcher(spec, req), name=f"recvw-r{rank}")
 
         for spec in graph.startup_sends(rank):
@@ -161,11 +143,11 @@ class UnifiedHostScheduler(SunwayScheduler):
             for spec in graph.bootstrap_sends(rank):
                 push_send(spec, from_bootstrap=True)
         for spec in graph.startup_copies(rank):
-            push(("copy", spec))
+            pool.push(("copy", spec))
         self._carryover_sends = [r for r in self._carryover_sends if not r.complete]
         push_ready_tasks()
 
-        # -- worker threads ---------------------------------------------------
+        # -- worker thread bodies ------------------------------------------
         def thread_mpe(tid: int, name: str, cost: float):
             cost = self._noise.mpe(cost)
             t0 = sim.now
@@ -174,129 +156,119 @@ class UnifiedHostScheduler(SunwayScheduler):
 
         def execute_task(tid: int, dt: DetailedTask):
             task = dt.task
+            self.lifecycle.transition(
+                dt,
+                TaskState.RUNNING,
+                backend="mpe" if task.kind is TaskKind.CPE_KERNEL else None,
+            )
             yield from thread_mpe(tid, "select", self.costs.sched.task_select)
             mpe_cost = self.costs.mpe_part_time(task, dt.patch, graph.grid)
             if mpe_cost > 0:
                 if self.real and task.mpe_action is not None:
-                    task.mpe_action(self._ctx(dt.patch, old_dw, new_dw, time, dt_value, step))
+                    task.mpe_action(self._ctx(dt.patch, st))
                 yield from thread_mpe(tid, f"mpe-part:{dt.name}", mpe_cost)
             if task.kind is TaskKind.REDUCTION:
                 partial = 0.0
                 if self.real and task.action is not None:
                     vals = [
-                        task.action(self._ctx(p, old_dw, new_dw, time, dt_value, step))
-                        for p in self._local_patches
+                        task.action(self._ctx(p, st)) for p in self._local_patches
                     ]
                     partial = vals[0] if vals else 0.0
                     for v in vals[1:]:
                         partial = task.reduction_op(partial, v)
                 yield from thread_mpe(
-                    tid, f"reduce:{dt.name}",
+                    tid,
+                    f"reduce:{dt.name}",
                     self.costs.reduction_local_time(len(self._local_patches)),
                 )
                 req = self.comm.iallreduce(partial, op=task.reduction_op)
 
                 def reduce_watcher(req=req, dt=dt):
                     value = yield req.event
-                    new_dw.put_reduction(dt.task.computes[0], value)
-                    self.stats.reductions += 1
+                    st.new_dw.put_reduction(dt.task.computes[0], value)
+                    self.lifecycle.emit("reduction", dt)
                     finish_task(dt)
 
                 sim.process(reduce_watcher(), name=f"redw-r{rank}")
                 return  # finish_task happens at allreduce completion
             # compute kernel on the host core
             if self.real and task.action is not None:
-                task.action(self._ctx(dt.patch, old_dw, new_dw, time, dt_value, step))
+                task.action(self._ctx(dt.patch, st))
             if task.kind is TaskKind.CPE_KERNEL:
                 cost = self.costs.mpe_kernel_time(task, dt.patch)
-                self.stats.kernels_on_mpe += 1
-                self.stats.kernel_flops += self.costs.kernel_flops(task, dt.patch)
+                self.lifecycle.emit("flops", dt, n=self.costs.kernel_flops(task, dt.patch))
                 cost += self._host_fault_overhead(dt, cost)
             else:
                 cost = self.costs.mpe_task_time(task, dt.patch)
             yield from thread_mpe(tid, f"kernel:{dt.name}", cost)
             finish_task(dt)
 
-        def worker(tid: int):
-            while True:
-                unit = yield runq.get()
-                if unit is None:  # shutdown sentinel
-                    return
-                try:
-                    kind = unit[0]
-                    if kind == "task":
-                        yield from execute_task(tid, unit[1])
-                    elif kind == "copy":
-                        spec: CopySpec = unit[1]
-                        yield from thread_mpe(
-                            tid, "copy", self.costs.pack_time(spec.ncells, remote=False)
-                        )
-                        self.stats.local_copies += 1
-                        if self.real:
-                            dw = dw_for(spec.dw)
-                            dw.get(spec.label, spec.to_patch).set_region(
-                                spec.region,
-                                dw.get(spec.label, spec.from_patch).get_region(spec.region),
-                            )
-                        tracker.release(spec.consumer.dt_id)
-                        push_ready_tasks()
-                    elif kind == "send":
-                        spec, tagb, src_dw = unit[1], unit[2], unit[3]
-                        yield from thread_mpe(
-                            tid,
-                            "pack-send",
-                            self.costs.pack_time(spec.region.num_cells, remote=True)
-                            + self.costs.sched.send_post,
-                        )
-                        payload = None
-                        if self.real:
-                            payload = (
-                                dw_for(src_dw)
-                                .get(spec.label, spec.from_patch)
-                                .get_region(spec.region)
-                            )
-                        req = self.comm.isend(
-                            dest=spec.to_rank,
-                            tag=tagb + spec.tag,
-                            nbytes=spec.nbytes,
-                            payload=payload,
-                        )
-                        (self._carryover_sends if tagb == next_tag_base else send_reqs).append(req)
-                        self.stats.messages_sent += 1
-                        self.stats.bytes_sent += spec.nbytes
-                    elif kind == "unpack":
-                        spec, payload = unit[1], unit[2]
-                        yield from thread_mpe(
-                            tid, "unpack",
-                            self.costs.pack_time(spec.region.num_cells, remote=True),
-                        )
-                        self.stats.messages_received += 1
-                        if self.real:
-                            dw = dw_for(spec.dw)
-                            dw.get(spec.label, spec.to_patch).set_region(spec.region, payload)
-                        tracker.release(spec.consumer.dt_id)
-                        push_ready_tasks()
-                except BaseException as exc:  # surface through the coordinator
-                    failure.append(exc)
-                    if not done_event.triggered:
-                        done_event.succeed()
-                    return
-                unit_done()
+        def handle_unit(tid: int, unit):
+            kind = unit[0]
+            if kind == "task":
+                yield from execute_task(tid, unit[1])
+            elif kind == "copy":
+                spec: CopySpec = unit[1]
+                yield from thread_mpe(tid, "copy", self.costs.pack_time(spec.ncells, remote=False))
+                self.lifecycle.emit("local-copy")
+                if self.real:
+                    dw = st.dw_for(spec.dw)
+                    dw.get(spec.label, spec.to_patch).set_region(
+                        spec.region,
+                        dw.get(spec.label, spec.from_patch).get_region(spec.region),
+                    )
+                tracker.release(spec.consumer.dt_id)
+                push_ready_tasks()
+            elif kind == "send":
+                spec, tagb, src_dw = unit[1], unit[2], unit[3]
+                yield from thread_mpe(
+                    tid,
+                    "pack-send",
+                    self.costs.pack_time(spec.region.num_cells, remote=True)
+                    + self.costs.sched.send_post,
+                )
+                payload = None
+                if self.real:
+                    payload = (
+                        st.dw_for(src_dw)
+                        .get(spec.label, spec.from_patch)
+                        .get_region(spec.region)
+                    )
+                req = self.comm.isend(
+                    dest=spec.to_rank,
+                    tag=tagb + spec.tag,
+                    nbytes=spec.nbytes,
+                    payload=payload,
+                )
+                dest = self._carryover_sends if tagb == st.next_tag_base else send_reqs
+                dest.append(req)
+                self.lifecycle.emit("msg-sent", nbytes=spec.nbytes)
+            elif kind == "unpack":
+                spec, payload = unit[1], unit[2]
+                yield from thread_mpe(
+                    tid,
+                    "unpack",
+                    self.costs.pack_time(spec.region.num_cells, remote=True),
+                )
+                self.lifecycle.emit("msg-recv")
+                if self.real:
+                    dw = st.dw_for(spec.dw)
+                    dw.get(spec.label, spec.to_patch).set_region(spec.region, payload)
+                tracker.release(spec.consumer.dt_id)
+                push_ready_tasks()
 
-        workers = [sim.process(worker(t), name=f"unified-w{t}-r{rank}") for t in range(self.num_threads)]
+        pool.spawn_workers(handle_unit, lambda: not st.remaining)
 
-        # -- coordinator: wait for completion, then shut workers down ----------
-        t0 = sim.now
-        yield done_event
-        if failure:
-            raise failure[0]
-        if remaining:
+        # -- coordinator: wait for completion, then shut workers down ------
+        yield pool.done_event
+        if pool.failure:
+            raise pool.failure[0]
+        if st.remaining:
             raise DeadlockError(
-                f"unified scheduler rank {rank} step {step}: {len(remaining)} tasks stuck"
+                f"unified scheduler rank {rank} step {step}: "
+                f"{len(st.remaining)} tasks stuck"
             )
-        for _ in workers:
-            runq.put(None)
+        pool.shutdown()
         unfinished = [r for r in send_reqs if not r.complete]
         if unfinished:
             yield sim.all_of([r.event for r in unfinished])
-        self.stats.idle_wait += 0.0  # workers account their own time

@@ -11,7 +11,6 @@ print Gantt-style timelines.
 from __future__ import annotations
 
 import dataclasses
-import typing as _t
 
 
 @dataclasses.dataclass(frozen=True)

@@ -92,7 +92,16 @@ def run_experiment(
             f"problem {problem.name} needs at least {problem.min_cgs} CGs "
             f"(memory), got {num_cgs}"
         )
-    key = (problem.name, variant.name, num_cgs, nsteps, with_reduction, repeats, noise)
+    key = (
+        problem.name,
+        variant.name,
+        variant.select_policy,
+        num_cgs,
+        nsteps,
+        with_reduction,
+        repeats,
+        noise,
+    )
     hit = _CACHE.get(key)
     if hit is not None:
         return hit
@@ -100,6 +109,7 @@ def run_experiment(
     best: RunResult | None = None
     for rep in range(max(repeats, 1)):
         sched_kwargs = calibration.scheduler_kwargs()
+        sched_kwargs["select_policy"] = variant.select_policy
         if noise is not None:
             sched_kwargs["noise"] = dataclasses.replace(noise, seed=noise.seed + rep)
         grid = problem.grid()

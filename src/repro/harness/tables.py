@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from repro.burgers.flops import table1_row
 from repro.harness import metrics
-from repro.harness.problems import PROBLEMS, ProblemSetting
+from repro.harness.problems import PROBLEMS
 from repro.harness.reportfmt import mem, pct, render_table
 from repro.harness.runner import run_experiment
-from repro.harness.variants import ACCELERATED, VARIANTS, variant_by_name
+from repro.harness.variants import VARIANTS, variant_by_name
 from repro.sunway.config import table2_rows
 
 

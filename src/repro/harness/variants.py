@@ -30,6 +30,9 @@ class Variant:
     #: Future-work extensions (paper Sec. IX), off in the paper's runs.
     async_dma: bool = False
     cpe_groups: int = 1
+    #: Ready-queue ordering (see :mod:`repro.core.schedulers.selection`);
+    #: the paper's runs use plain queue order.
+    select_policy: str = "fifo"
 
     @property
     def scheduler_label(self) -> str:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.burgers.phi import phi, phi_naive, phi_range, NU
+from repro.burgers.phi import phi, phi_naive, phi_range
 from repro.burgers.exact import exact_solution, exact_on_region, solution_errors
 from repro.core.grid import Grid
 from repro.core.patch import Region

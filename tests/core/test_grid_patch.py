@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.grid import Grid
-from repro.core.patch import Patch, Region, FACES
+from repro.core.patch import Region, FACES
 
 
 # -- Region -------------------------------------------------------------------

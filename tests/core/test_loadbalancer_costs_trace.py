@@ -8,7 +8,6 @@ from repro.core.grid import Grid
 from repro.core.loadbalancer import LoadBalancer
 from repro.core.task import Task, TaskKind
 from repro.core.trace import Span, Tracer
-from repro.core.varlabel import VarLabel
 from repro.sunway.corerates import KernelCost
 
 

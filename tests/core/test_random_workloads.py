@@ -8,7 +8,6 @@ This is the out-of-order-execution safety net for the whole runtime.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.controller import SimulationController

@@ -165,6 +165,67 @@ def test_reduction_identical_across_rank_counts():
     assert v1 == v4
 
 
+# -- readiness tracking -----------------------------------------------------------------
+
+class _StubGraph:
+    """Graph facade with only what ReadinessTracker reads."""
+
+    def __init__(self, deps):
+        self.internal_deps = deps
+
+    def recvs_for(self, dt):
+        return ()
+
+    def copies_for(self, dt):
+        return ()
+
+
+class _StubTask:
+    def __init__(self, dt_id):
+        self.dt_id = dt_id
+
+
+def _tracker(num_tasks, deps=None, **kw):
+    from repro.core.schedulers.base import ReadinessTracker
+
+    tasks = [_StubTask(i) for i in range(num_tasks)]
+    deps = deps if deps is not None else {i: set() for i in range(num_tasks)}
+    return ReadinessTracker(tasks, _StubGraph(deps), **kw), tasks
+
+
+def test_pop_ready_key_selects_highest_score():
+    tracker, _ = _tracker(4)
+    scores = {0: 1.0, 1: 5.0, 2: 5.0, 3: 2.0}
+    # highest score wins; the 1-vs-2 tie keeps queue order (task 1 first)
+    picked = tracker.pop_ready(lambda d: True, key=lambda d: scores[d.dt_id])
+    assert picked.dt_id == 1
+    picked = tracker.pop_ready(lambda d: True, key=lambda d: scores[d.dt_id])
+    assert picked.dt_id == 2
+    # without a key: plain FIFO over the remaining tasks
+    assert tracker.pop_ready(lambda d: True).dt_id == 0
+    # predicate filters regardless of key
+    assert tracker.pop_ready(lambda d: d.dt_id == 99, key=lambda d: 0) is None
+    assert tracker.pop_ready(lambda d: True).dt_id == 3
+    assert not tracker.any_ready
+
+
+def test_release_below_zero_raises():
+    """Over-releasing a task is a task-graph bug and must not pass silently."""
+    tracker, _ = _tracker(1)
+    with pytest.raises(RuntimeError, match="negative"):
+        tracker.release(0)  # task 0 had no blockers to begin with
+
+
+def test_on_ready_hook_fires_once_per_task():
+    seen = []
+    tracker, _ = _tracker(
+        2, deps={0: set(), 1: {0}}, on_ready=lambda dt: seen.append(dt.dt_id)
+    )
+    assert seen == [0]  # zero-blocker task is ready at construction
+    tracker.release(1)
+    assert seen == [0, 1]
+
+
 # -- failure handling -------------------------------------------------------------------
 
 def test_deadlock_detected_not_hung():

@@ -75,6 +75,27 @@ def test_scrub_counts_all_modes(mode):
     assert res.stats.scrubbed == 2 * 8
 
 
+def test_scrub_delegates_to_scrub_named():
+    """Both scrub entry points share one removal path and report whether
+    anything was actually dropped."""
+    from repro.core.datawarehouse import DataWarehouse
+    from repro.core.varlabel import VarLabel
+
+    grid = Grid(extent=(8, 8, 8), layout=(1, 1, 1))
+    patch = next(iter(grid.patches()))
+    label = VarLabel("u")
+    dw = DataWarehouse(step=0)
+    dw.allocate_and_put(label, patch)
+
+    assert dw.scrub(label, patch) is True  # removed
+    assert dw.scrub(label, patch) is False  # already gone
+    assert not dw.exists(label, patch)
+
+    dw.allocate_and_put(label, patch)
+    assert dw.scrub_named("u", patch.patch_id) is True
+    assert dw.scrub_named("u", patch.patch_id) is False
+
+
 def test_scrub_counts_multirank():
     """Cross-rank: remote faces are served by messages packed from the
     *producing* step's new DW, so per-step old-DW consumers are the

@@ -7,7 +7,7 @@ from repro.burgers import BurgersProblem
 from repro.core.controller import SimulationController
 from repro.core.grid import Grid
 
-POLICIES = ("fifo", "max_dependents", "most_messages")
+POLICIES = ("fifo", "max_dependents", "most_messages", "critical_path")
 
 
 def run(policy, num_ranks=4, nsteps=3):
@@ -63,3 +63,50 @@ def test_policies_can_change_execution_order():
     # coincide by construction; assert only when scores differ:
     if orders["fifo"] != orders["most_messages"]:
         assert sorted(orders["fifo"]) == sorted(orders["most_messages"])
+
+
+def test_critical_path_dispatches_deep_chain_first():
+    """A kernel heading a 3-deep chain beats a shallow one under
+    critical_path, even when the shallow one is first in queue order."""
+    from repro.core.task import Task, TaskKind
+    from repro.core.varlabel import VarLabel
+    from repro.sunway.corerates import KernelCost
+
+    def kernel(name, reads, dw, writes):
+        t = Task(
+            name, kind=TaskKind.CPE_KERNEL,
+            kernel_cost=KernelCost(stencil_flops=1, exp_calls=0),
+        )
+        t.requires_(VarLabel(reads), dw=dw, ghosts=0).computes_(VarLabel(writes))
+        return t
+
+    def tasks():
+        # registration order puts the shallow task first: fifo runs it
+        # first, critical_path defers it behind the chain head
+        return [
+            kernel("shallow", "u", "old", "d"),
+            kernel("chain1", "u", "old", "a"),
+            kernel("chain2", "a", "new", "b"),
+            kernel("chain3", "b", "new", "c"),
+        ]
+
+    grid = Grid(extent=(8, 8, 8), layout=(1, 1, 1))
+    orders = {}
+    for policy in ("fifo", "critical_path"):
+        prob = BurgersProblem(grid)  # init graph produces the initial u
+        ctl = SimulationController(
+            grid, tasks(), prob.init_tasks(), num_ranks=1, real=False,
+            mode="async", trace_enabled=True,
+            scheduler_kwargs={"select_policy": policy},
+        )
+        ctl.run(nsteps=1, dt=1e-4)
+        names = {"shallow", "chain1", "chain2", "chain3"}
+        orders[policy] = [
+            s.name.split("@")[0]
+            for s in ctl.trace.spans_for(0, "cpe")
+            if s.name.split("@")[0] in names
+        ]
+    assert orders["fifo"] == ["shallow", "chain1", "chain2", "chain3"]
+    # depths: chain1=3, chain2=2, shallow=chain3=1 — the final tie keeps
+    # queue order, so shallow slots in right before chain3
+    assert orders["critical_path"] == ["chain1", "chain2", "shallow", "chain3"]

@@ -6,7 +6,6 @@ controller forwards such variables from old to new warehouses.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.controller import SimulationController
 from repro.core.grid import Grid

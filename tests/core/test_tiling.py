@@ -66,7 +66,10 @@ def test_choose_tile_two_fields_in():
     one = choose_tile_shape((64, 64, 512), fields_in=1)
     two = choose_tile_shape((64, 64, 512), fields_in=2)
     assert working_set_bytes(two, fields_in=2) <= 64 * 1024
-    cells = lambda s: s[0] * s[1] * s[2]
+
+    def cells(s):
+        return s[0] * s[1] * s[2]
+
     assert cells(two) <= cells(one)
 
 

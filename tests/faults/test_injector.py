@@ -33,7 +33,9 @@ def test_message_fault_stream_is_seed_deterministic():
 
 
 def test_different_seeds_give_different_streams():
-    mk = lambda s: FaultConfig(seed=s, kernel_slowdown_prob=0.3)
+    def mk(s):
+        return FaultConfig(seed=s, kernel_slowdown_prob=0.3)
+
     assert drain_kernel(FaultInjector(mk(1))) != drain_kernel(FaultInjector(mk(2)))
 
 

@@ -6,11 +6,10 @@ from repro.harness.problems import (
     CG_COUNTS,
     PATCH_LAYOUT,
     PROBLEMS,
-    ProblemSetting,
     problem_by_name,
     small_medium_large,
 )
-from repro.harness.variants import ACCELERATED, VARIANTS, Variant, variant_by_name
+from repro.harness.variants import ACCELERATED, VARIANTS, variant_by_name
 
 
 # -- problems (Table III) -----------------------------------------------------------

@@ -4,7 +4,6 @@ import pytest
 
 from repro.des import Simulator
 from repro.sunway.athread import AthreadRuntime, CompletionFlag
-from repro.sunway.config import CoreGroupConfig
 
 
 def test_flag_faaw_semantics():

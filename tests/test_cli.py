@@ -36,6 +36,21 @@ def test_run_case(capsys):
     assert "time/step" in out and "Gflop/s" in out
 
 
+def test_run_with_select_policy(capsys):
+    code = main(
+        ["run", "--problem", "16x16x512", "--variant", "acc.async",
+         "--cgs", "4", "--nsteps", "2", "--select-policy", "critical_path"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "critical_path" in out and "time/step" in out
+
+
+def test_run_rejects_unknown_select_policy():
+    with pytest.raises(SystemExit):
+        main(["run", "--problem", "16x16x512", "--select-policy", "fastest_first"])
+
+
 def test_run_rejects_unknown_problem():
     with pytest.raises(SystemExit):
         main(["run", "--problem", "9x9x9"])
