@@ -83,7 +83,7 @@ def measure(repeats: int = REPEATS) -> dict:
     }
 
 
-def test_scheduler_loop_overhead_within_baseline(publish):
+def test_scheduler_loop_overhead_within_baseline(publish, publish_json):
     current = measure()
     rows = [
         ("DES loop host time (best of %d)" % REPEATS, seconds(current["host_seconds"])),
@@ -98,6 +98,17 @@ def test_scheduler_loop_overhead_within_baseline(publish):
     publish(
         "scheduler_overhead",
         render_table("Scheduler loop overhead", ["Metric", "Value"], rows),
+    )
+    publish_json(
+        "scheduler_overhead",
+        {
+            "current": current,
+            "baseline": baseline,
+            "ratio": (
+                current["host_seconds"] / baseline["host_seconds"] if baseline else None
+            ),
+            "tolerance": TOLERANCE,
+        },
     )
     assert baseline is not None, "no committed baseline; run --rebaseline"
     # identical schedule regardless of host speed: the DES must charge the

@@ -1,0 +1,143 @@
+"""Host-side cost of the telemetry subsystem, off and on.
+
+Two contracts protect the seed's performance and determinism:
+
+1. **Disabled telemetry is free.**  The default run (``telemetry=None``)
+   executes the pre-telemetry code path plus a handful of ``is not
+   None`` branches; its wall-clock must stay within 2 % of the committed
+   pre-telemetry scheduler baseline
+   (``results/scheduler_overhead_baseline.json``).  Like the scheduler
+   benchmark, the wall-clock gate only fires when the stored machine
+   fingerprint matches; the numbers are published either way.
+
+2. **Enabled telemetry never perturbs the DES.**  A run with a
+   :class:`~repro.telemetry.collect.RunTelemetry` attached must charge
+   *exactly* the same simulated seconds as the uninstrumented run — the
+   observer reads the simulation, it does not appear in it.  This is a
+   hard equality assert on every machine.
+
+The enabled-path host cost is measured and published too (no gate: it
+pays for histograms and buckets by design — the contract is only that
+you don't pay when you didn't ask).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.harness.reportfmt import pct, render_table, seconds
+from repro.telemetry import RunTelemetry
+
+from benchmarks.bench_scheduler_overhead import (
+    BASELINE_PATH,
+    NSTEPS,
+    _fingerprint,
+    measure,
+)
+
+REPEATS = 5
+DISABLED_TOLERANCE = 0.02
+
+
+def measure_enabled(repeats: int = REPEATS) -> dict:
+    """Best-of-N wall-clock of the DES loop with telemetry attached."""
+    best = float("inf")
+    sim_time = None
+    for _ in range(repeats):
+        # telemetry must be threaded at construction time (the lifecycle
+        # subscribers are wired in the scheduler constructors)
+        ctl = _build_with_telemetry(RunTelemetry())
+        t0 = time.perf_counter()
+        res = ctl.run(nsteps=NSTEPS, dt=1e-5)
+        best = min(best, time.perf_counter() - t0)
+        sim_time = res.total_time
+    return {
+        "host_seconds": best,
+        "nsteps": NSTEPS,
+        "simulated_seconds": sim_time,
+        "fingerprint": _fingerprint(),
+    }
+
+
+def _build_with_telemetry(tele: RunTelemetry):
+    from repro.burgers.component import BurgersProblem
+    from repro.core.controller import SimulationController
+    from repro.harness import calibration
+    from repro.harness.problems import problem_by_name
+
+    problem = problem_by_name("16x16x512")
+    grid = problem.grid()
+    burgers = BurgersProblem(grid)
+    return SimulationController(
+        grid,
+        burgers.tasks(),
+        burgers.init_tasks(),
+        num_ranks=8,
+        mode="async",
+        real=False,
+        cost_model=calibration.cost_model(),
+        fabric_config=calibration.FABRIC,
+        scheduler_kwargs=calibration.scheduler_kwargs(),
+        telemetry=tele,
+    )
+
+
+def test_telemetry_overhead(publish, publish_json):
+    disabled = measure(repeats=REPEATS)
+    enabled = measure_enabled()
+
+    # Contract 2 first — it must hold everywhere, fingerprints be damned:
+    # the instrumented schedule is the uninstrumented schedule.
+    assert enabled["simulated_seconds"] == disabled["simulated_seconds"], (
+        "telemetry perturbed the DES: "
+        f"{enabled['simulated_seconds']!r} != {disabled['simulated_seconds']!r}"
+    )
+
+    enabled_ratio = enabled["host_seconds"] / disabled["host_seconds"]
+    rows = [
+        ("telemetry off (best of %d)" % REPEATS, seconds(disabled["host_seconds"])),
+        ("telemetry on (best of %d)" % REPEATS, seconds(enabled["host_seconds"])),
+        ("enabled/disabled host ratio", f"{enabled_ratio:.3f}x"),
+        ("simulated seconds (both)", seconds(disabled["simulated_seconds"])),
+    ]
+    baseline = None
+    disabled_ratio = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        disabled_ratio = disabled["host_seconds"] / baseline["host_seconds"]
+        rows.append(("pre-telemetry baseline", seconds(baseline["host_seconds"])))
+        rows.append(
+            (
+                "disabled vs baseline",
+                f"{disabled_ratio:.3f}x (gate {pct(DISABLED_TOLERANCE, 0)})",
+            )
+        )
+    publish(
+        "telemetry_overhead",
+        render_table("Telemetry overhead", ["Metric", "Value"], rows),
+    )
+    publish_json(
+        "telemetry_overhead",
+        {
+            "disabled": disabled,
+            "enabled": enabled,
+            "enabled_ratio": enabled_ratio,
+            "baseline": baseline,
+            "disabled_ratio": disabled_ratio,
+            "disabled_tolerance": DISABLED_TOLERANCE,
+        },
+    )
+
+    assert baseline is not None, "no committed baseline; run bench_scheduler_overhead --rebaseline"
+    # identical schedule to the pre-telemetry code: the hooks must not
+    # have changed what the DES charges
+    assert disabled["simulated_seconds"] == baseline["simulated_seconds"]
+    if baseline["fingerprint"] != _fingerprint():
+        import pytest
+
+        pytest.skip("baseline from a different machine; wall-clock not comparable")
+    assert disabled["host_seconds"] <= baseline["host_seconds"] * (1 + DISABLED_TOLERANCE), (
+        f"disabled telemetry costs {disabled['host_seconds']:.3f}s vs baseline "
+        f"{baseline['host_seconds']:.3f}s — more than {DISABLED_TOLERANCE:.0%} overhead"
+    )

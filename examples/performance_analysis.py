@@ -42,8 +42,8 @@ def main() -> None:
 
     summary = result.trace.summarize(rank=0)
     rows = [
-        (name, info["lane"], info["count"], seconds(info["total"]), seconds(info["mean"]))
-        for name, info in sorted(
+        (name, lane, info["count"], seconds(info["total"]), seconds(info["mean"]))
+        for (name, lane), info in sorted(
             summary.items(), key=lambda kv: kv[1]["total"], reverse=True
         )
     ]

@@ -20,8 +20,28 @@ from repro.core.schedulers.selection import POLICIES
 from repro.harness import metrics
 from repro.harness.problems import PROBLEMS, problem_by_name
 from repro.harness.reportfmt import pct, render_table, seconds
-from repro.harness.runner import run_experiment
+from repro.harness.runner import run_experiment, run_instrumented
 from repro.harness.variants import VARIANTS, variant_by_name
+
+
+def _write_telemetry(outdir: str, bundle) -> None:
+    """Write a run's telemetry artifacts (ledger, metrics, trace) to a dir."""
+    import json
+    import pathlib
+
+    out = pathlib.Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    bundle.ledger.write(out / "ledger.jsonl")
+    (out / "metrics.json").write_text(
+        json.dumps(bundle.telemetry.registry.snapshot(), indent=2, sort_keys=True) + "\n"
+    )
+    (out / "trace.json").write_text(
+        json.dumps({"traceEvents": bundle.result.trace.to_chrome_trace()}) + "\n"
+    )
+    print(
+        f"telemetry written to {out}/ (ledger.jsonl, metrics.json, trace.json)",
+        file=sys.stderr,
+    )
 
 
 def _cmd_info(_args) -> int:
@@ -76,23 +96,38 @@ def _cmd_fig(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.burgers.flops import table1_row
+
     problem = problem_by_name(args.problem)
     variant = dataclasses.replace(
         variant_by_name(args.variant), select_policy=args.select_policy
     )
-    result = run_experiment(problem, variant, args.cgs, nsteps=args.nsteps)
+    bundle = None
+    if getattr(args, "telemetry_out", None):
+        bundle = run_instrumented(problem, variant, args.cgs, nsteps=args.nsteps)
+        result = bundle.experiment
+    else:
+        result = run_experiment(problem, variant, args.cgs, nsteps=args.nsteps)
+    # Counted-flop accounting in the paper's Table I convention (flops
+    # divided over the grid plus one global ghost layer).
+    flop_row = table1_row(problem.grid(), fast_exp=variant.cost_model().fast_exp)
     rows = [
         ("problem", result.problem),
         ("variant", result.variant),
         ("select policy", variant.select_policy),
         ("CGs", result.num_cgs),
         ("time/step", seconds(result.time_per_step)),
+        ("GFLOP/step (counted)", f"{result.flops_per_step / 1e9:.3f}"),
+        ("flops/cell (Table I)", f"{flop_row['flops_per_cell']:.0f}"),
+        ("exp flop share", pct(flop_row["exp_share"], 1)),
         ("Gflop/s", f"{result.gflops:.2f}"),
         ("FP efficiency", pct(result.fp_efficiency, 2)),
         ("messages/step", f"{result.messages_per_step:.0f}"),
         ("MB/step on the wire", f"{result.bytes_per_step / 1e6:.1f}"),
     ]
     print(render_table("Experiment result (simulated Sunway time)", ["Metric", "Value"], rows))
+    if bundle is not None:
+        _write_telemetry(args.telemetry_out, bundle)
     return 0
 
 
@@ -104,7 +139,12 @@ def _cmd_sweep(args) -> int:
     base = None
     rows = []
     for cgs in problem.cg_counts():
-        r = run_experiment(problem, variant, cgs, nsteps=args.nsteps)
+        if getattr(args, "telemetry_out", None):
+            bundle = run_instrumented(problem, variant, cgs, nsteps=args.nsteps)
+            r = bundle.experiment
+            _write_telemetry(f"{args.telemetry_out}/cg{cgs}", bundle)
+        else:
+            r = run_experiment(problem, variant, cgs, nsteps=args.nsteps)
         base = base or r
         rows.append(
             (
@@ -123,6 +163,67 @@ def _cmd_sweep(args) -> int:
             rows,
         )
     )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Instrumented run: time accounting, ledger, critical path, top tasks."""
+    from repro.telemetry import analyze
+    from repro.telemetry.analyzer import render_top_tasks
+
+    problem = problem_by_name(args.problem)
+    variant = dataclasses.replace(
+        variant_by_name(args.variant), select_policy=args.select_policy
+    )
+    bundle = run_instrumented(problem, variant, args.cgs, nsteps=args.nsteps)
+    r = bundle.experiment
+    rows = [
+        ("problem", r.problem),
+        ("variant", r.variant),
+        ("select policy", variant.select_policy),
+        ("CGs", r.num_cgs),
+        ("time/step", seconds(r.time_per_step)),
+        ("Gflop/s", f"{r.gflops:.2f}"),
+        ("mean overlap fraction", pct(bundle.ledger.mean_overlap_fraction)),
+        ("total comm wait", seconds(bundle.ledger.total_comm_wait)),
+    ]
+    print(render_table("Profiled run (simulated Sunway time)", ["Metric", "Value"], rows))
+    analysis = analyze(bundle.result, telemetry=bundle.telemetry, ledger=bundle.ledger)
+    print()
+    print(analysis.render_time_accounting())
+    print()
+    print(analysis.render_ledger())
+    print()
+    print(analysis.render_critical_path())
+    print()
+    print(render_top_tasks(bundle.result.trace, n=args.top))
+    if args.telemetry_out:
+        _write_telemetry(args.telemetry_out, bundle)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Instrumented run: Perfetto/Chrome trace JSON plus an ASCII Gantt."""
+    import json
+    import pathlib
+
+    problem = problem_by_name(args.problem)
+    variant = dataclasses.replace(
+        variant_by_name(args.variant), select_policy=args.select_policy
+    )
+    bundle = run_instrumented(problem, variant, args.cgs, nsteps=args.nsteps)
+    out = pathlib.Path(args.output)
+    out.write_text(
+        json.dumps({"traceEvents": bundle.result.trace.to_chrome_trace()}) + "\n"
+    )
+    n_events = len(bundle.result.trace.spans)
+    print(
+        f"wrote {out} ({n_events} spans); load it in https://ui.perfetto.dev "
+        "or chrome://tracing"
+    )
+    for rank in range(min(bundle.result.num_ranks, args.ranks)):
+        print()
+        print(bundle.result.trace.timeline(rank))
     return 0
 
 
@@ -247,7 +348,54 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(POLICIES),
         help="ready-queue ordering for offloadable tasks",
     )
+    p.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="DIR",
+        help="also run instrumented and write ledger.jsonl/metrics.json/trace.json",
+    )
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "profile",
+        help="instrumented run: per-rank time accounting and critical path",
+    )
+    p.add_argument("--problem", default="16x16x512", choices=[pr.name for pr in PROBLEMS])
+    p.add_argument("--variant", default="acc.async", choices=sorted(VARIANTS))
+    p.add_argument("--cgs", type=int, default=8)
+    p.add_argument("--nsteps", type=int, default=10)
+    p.add_argument("--top", type=int, default=10, help="activities in the top-N table")
+    p.add_argument(
+        "--select-policy",
+        default="fifo",
+        choices=sorted(POLICIES),
+        help="ready-queue ordering for offloadable tasks",
+    )
+    p.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="DIR",
+        help="write ledger.jsonl/metrics.json/trace.json to DIR",
+    )
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "trace",
+        help="instrumented run: Perfetto/Chrome trace JSON + ASCII Gantt",
+    )
+    p.add_argument("--problem", default="16x16x512", choices=[pr.name for pr in PROBLEMS])
+    p.add_argument("--variant", default="acc.async", choices=sorted(VARIANTS))
+    p.add_argument("--cgs", type=int, default=8)
+    p.add_argument("--nsteps", type=int, default=10)
+    p.add_argument("--output", default="trace.json", help="trace JSON path")
+    p.add_argument("--ranks", type=int, default=2, help="ranks to show as ASCII Gantt")
+    p.add_argument(
+        "--select-policy",
+        default="fifo",
+        choices=sorted(POLICIES),
+        help="ready-queue ordering for offloadable tasks",
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
         "resilience",
@@ -281,6 +429,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="fifo",
         choices=sorted(POLICIES),
         help="ready-queue ordering for offloadable tasks",
+    )
+    p.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="DIR",
+        help="run instrumented and write per-CG-count artifacts under DIR/cgN/",
     )
     p.set_defaults(fn=_cmd_sweep)
 

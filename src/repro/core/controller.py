@@ -60,6 +60,10 @@ class RunResult:
     trace: Tracer
     #: Simulation time value reached (t0 + nsteps*dt).
     sim_time: float
+    #: Per-rank step-boundary clocks: ``rank_step_ends[r][s]`` is rank
+    #: ``r``'s simulated time at the end of step ``s`` (index 0 = barrier
+    #: release).  The telemetry ledger clips trace spans to these windows.
+    rank_step_ends: list[list[float]] | None = None
 
     @property
     def gflops(self) -> float:
@@ -111,6 +115,7 @@ class SimulationController:
         memory_limit_bytes: int | None = None,
         faults=None,
         resilience=None,
+        telemetry=None,
     ):
         self.grid = grid
         self.num_ranks = num_ranks
@@ -124,9 +129,20 @@ class SimulationController:
         #: ``None`` keeps every fault-free code path byte-identical.
         self.faults = faults
         self.resilience = resilience
+        #: Optional :class:`~repro.telemetry.collect.RunTelemetry`; like
+        #: faults, it reaches the fabric and the *timestep* schedulers
+        #: only — the init graph runs before the measured window and must
+        #: not shift step attribution (step counting starts at the first
+        #: instrumented ``step-begin``).
+        self.telemetry = telemetry
         self.sim = Simulator()
         self.fabric = Fabric(
-            self.sim, num_ranks, fabric_config, faults=faults, policy=resilience
+            self.sim,
+            num_ranks,
+            fabric_config,
+            faults=faults,
+            policy=resilience,
+            telemetry=telemetry,
         )
         self.trace = Tracer(enabled=trace_enabled)
         self.assignment = LoadBalancer(balancer).assign(grid, num_ranks)
@@ -179,6 +195,8 @@ class SimulationController:
         if faults is not None or resilience is not None:
             sched_kwargs["faults"] = faults
             sched_kwargs["resilience"] = resilience
+        if telemetry is not None:
+            sched_kwargs["telemetry"] = telemetry
         self.schedulers = [
             factory(
                 self.sim,
@@ -196,6 +214,7 @@ class SimulationController:
         ]
         sched_kwargs.pop("faults", None)
         sched_kwargs.pop("resilience", None)
+        sched_kwargs.pop("telemetry", None)
         self._folded_retries = [0] * num_ranks
         self.init_schedulers = [
             factory(
@@ -346,4 +365,5 @@ class SimulationController:
             final_dws=_t.cast(list, final_dws),
             trace=self.trace,
             sim_time=t0 + (start_step + nsteps) * dt,
+            rank_step_ends=step_end,
         )

@@ -21,7 +21,7 @@ from repro.core.task import Task
 from repro.core.tiling import TilePlan, choose_tile_shape
 from repro.sunway.config import CoreGroupConfig
 from repro.sunway.corerates import CoreRates
-from repro.sunway.dma import DMAEngine
+from repro.sunway.dma import DMAEngine, DMAVolume
 from repro.sunway.fastmath import exp_flops
 
 
@@ -71,6 +71,7 @@ class SunwayCostModel:
     def __post_init__(self) -> None:
         self._plan_cache: dict[tuple, TilePlan] = {}
         self._kernel_time_cache: dict[tuple, float] = {}
+        self._dma_volume_cache: dict[tuple, DMAVolume] = {}
 
     # -- tiling --------------------------------------------------------------
     def tile_plan(self, task: Task, patch: Patch) -> TilePlan:
@@ -169,6 +170,30 @@ class SunwayCostModel:
         return max(num_local_patches, 1) * self.sched.reduction_per_patch
 
     # -- accounting helpers -------------------------------------------------------
+    def kernel_dma_volume(self, task: Task, patch: Patch) -> DMAVolume:
+        """Aggregate DMA traffic of one kernel launch on ``patch``.
+
+        Like :meth:`cpe_kernel_time` this depends only on the patch
+        extent, so it is cached per ``(task, extent)`` — telemetry can
+        query it on every launch without re-walking the tile plan.
+        """
+        key = (task.name, patch.extent)
+        cached = self._dma_volume_cache.get(key)
+        if cached is not None:
+            return cached
+        get_b = put_b = descriptors = 0
+        for tiles in self.tile_plan(task, patch).per_cpe_work():
+            for w in tiles:
+                get_b += w.get_bytes
+                put_b += w.put_bytes
+                if self.pack_tiles:
+                    descriptors += 2  # one get + one put, fully packed
+                else:
+                    descriptors += w.get_chunks + w.put_chunks
+        vol = DMAVolume(get_bytes=get_b, put_bytes=put_b, descriptors=descriptors)
+        self._dma_volume_cache[key] = vol
+        return vol
+
     def kernel_flops(self, task: Task, patch: Patch) -> int:
         """Counted flops of one kernel execution (perf-counter convention)."""
         if task.kernel_cost is None:

@@ -191,6 +191,7 @@ class SchedulerCore:
         noise=None,
         faults=None,
         resilience=None,
+        telemetry=None,
     ):
         self.sim = sim
         self.rank = rank
@@ -236,6 +237,12 @@ class SchedulerCore:
             self.lifecycle.subscribe(TraceSubscriber(self.trace, rank))
         if resilience is not None:
             self.lifecycle.subscribe(self.retry_governor)
+        #: Observability sink (:class:`repro.telemetry.collect.RunTelemetry`);
+        #: like the other observers it is only subscribed when present, so
+        #: the default run pays nothing for it.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.lifecycle.subscribe(telemetry.subscriber_for(rank))
 
     def _mark_ready(self, dt) -> None:
         """ReadinessTracker ``on_ready`` hook: PENDING → READY."""

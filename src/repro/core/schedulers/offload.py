@@ -124,6 +124,13 @@ class OffloadEngine:
         fl = Flight(handle, nxt, expected, deadline, t_launch, duration)
         self.inflight[group] = fl
         self.interference.kernel_inflight = True
+        if sched.telemetry is not None:
+            sched.telemetry.on_kernel_launch(
+                sched.rank,
+                nxt.name,
+                duration,
+                sched.costs.kernel_dma_volume(nxt.task, nxt.patch),
+            )
         sched.lifecycle.transition(
             nxt,
             TaskState.RUNNING,

@@ -33,7 +33,7 @@ class Span:
         return self.t1 - self.t0
 
 
-def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+def merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
     """Union of possibly-overlapping intervals, sorted."""
     out: list[tuple[float, float]] = []
     for lo, hi in sorted(intervals):
@@ -44,7 +44,14 @@ def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, 
     return out
 
 
-def _intersect_total(a: list[tuple[float, float]], b: list[tuple[float, float]]) -> float:
+def clip_intervals(
+    merged: list[tuple[float, float]], lo: float, hi: float
+) -> list[tuple[float, float]]:
+    """Restrict a merged interval list to the window ``[lo, hi]``."""
+    return [(max(a, lo), min(b, hi)) for a, b in merged if b > lo and a < hi]
+
+
+def intersect_total(a: list[tuple[float, float]], b: list[tuple[float, float]]) -> float:
     """Total length of the intersection of two merged interval lists."""
     total = 0.0
     i = j = 0
@@ -84,24 +91,26 @@ class Tracer:
 
     def busy_time(self, rank: int, lane: str) -> float:
         """Total (union) busy seconds on one lane."""
-        merged = _merge_intervals([(s.t0, s.t1) for s in self.spans_for(rank, lane)])
+        merged = merge_intervals([(s.t0, s.t1) for s in self.spans_for(rank, lane)])
         return sum(hi - lo for lo, hi in merged)
 
     def overlap_time(self, rank: int, lane_a: str = "mpe", lane_b: str = "cpe") -> float:
         """Seconds during which *both* lanes were busy — the paper's overlap."""
-        a = _merge_intervals([(s.t0, s.t1) for s in self.spans_for(rank, lane_a)])
-        b = _merge_intervals([(s.t0, s.t1) for s in self.spans_for(rank, lane_b)])
-        return _intersect_total(a, b)
+        a = merge_intervals([(s.t0, s.t1) for s in self.spans_for(rank, lane_a)])
+        b = merge_intervals([(s.t0, s.t1) for s in self.spans_for(rank, lane_b)])
+        return intersect_total(a, b)
 
-    def summarize(self, rank: int | None = None) -> dict[str, dict]:
-        """Aggregate spans by activity name: count, total and mean seconds.
+    def summarize(self, rank: int | None = None) -> dict[tuple[str, str], dict]:
+        """Aggregate spans by ``(activity, lane)``: count, total, mean.
 
         Activity names like ``mpe-part:timeAdvance@p3`` are folded to
         their prefix (``mpe-part``) plus the task name (``timeAdvance``),
         so per-task-kind totals come out directly — the runtime's
-        answer to "where did the MPE time go?".
+        answer to "where did the MPE time go?".  The lane is part of the
+        key: the same activity name on the ``mpe`` and ``cpe`` lanes is
+        two distinct entries, never silently merged.
         """
-        out: dict[str, dict] = {}
+        out: dict[tuple[str, str], dict] = {}
         for s in self.spans:
             if rank is not None and s.rank != rank:
                 continue
@@ -111,7 +120,9 @@ class Tracer:
                 name = f"{prefix}:{detail.split('@', 1)[0]}"
             elif "@" in name:  # bare kernel spans like "timeAdvance@p3"
                 name = name.split("@", 1)[0]
-            entry = out.setdefault(name, {"count": 0, "total": 0.0, "lane": s.lane})
+            entry = out.setdefault(
+                (name, s.lane), {"count": 0, "total": 0.0, "lane": s.lane}
+            )
             entry["count"] += 1
             entry["total"] += s.duration
         for entry in out.values():
@@ -121,10 +132,23 @@ class Tracer:
     def to_chrome_trace(self) -> list[dict]:
         """Spans in Chrome tracing format (load in chrome://tracing or
         Perfetto): one "process" per rank, one "thread" per lane,
-        microsecond timestamps."""
+        microsecond timestamps.  ``process_name`` metadata labels each
+        pid as ``rank N`` in Perfetto's track list, and span events are
+        emitted in ``(ts, pid, tid)`` order so two traces of the same
+        run diff cleanly."""
         lanes = sorted({(s.rank, s.lane) for s in self.spans})
         tid_of = {key: i for i, key in enumerate(lanes)}
         events: list[dict] = []
+        for rank in sorted({r for r, _lane in lanes}):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": rank,
+                    "tid": 0,
+                    "args": {"name": f"rank {rank}"},
+                }
+            )
         for (rank, lane), tid in tid_of.items():
             events.append(
                 {
@@ -135,7 +159,8 @@ class Tracer:
                     "args": {"name": lane},
                 }
             )
-        for s in self.spans:
+        spans = sorted(self.spans, key=lambda s: (s.t0, s.rank, tid_of[(s.rank, s.lane)], s.t1))
+        for s in spans:
             events.append(
                 {
                     "name": s.name,

@@ -63,6 +63,19 @@ class ExperimentResult:
         return self.gflops * 1e9 / peak
 
 
+@dataclasses.dataclass
+class InstrumentedRun:
+    """Everything one observed run produced (never memoized)."""
+
+    experiment: ExperimentResult
+    #: The raw :class:`~repro.core.controller.RunResult` with its trace.
+    result: RunResult
+    #: The :class:`~repro.telemetry.collect.RunTelemetry` that observed it.
+    telemetry: object
+    #: The folded :class:`~repro.telemetry.ledger.RunLedger`.
+    ledger: object
+
+
 _CACHE: dict[tuple, ExperimentResult] = {}
 
 
@@ -149,3 +162,90 @@ def run_experiment(
     )
     _CACHE[key] = out
     return out
+
+
+def run_instrumented(
+    problem: ProblemSetting,
+    variant: Variant,
+    num_cgs: int,
+    nsteps: int = DEFAULT_NSTEPS,
+    with_reduction: bool = True,
+    noise: NoiseModel | None = None,
+    created_at: str | None = None,
+) -> InstrumentedRun:
+    """Run one case with tracing and telemetry on; returns the full bundle.
+
+    The schedule is identical to :func:`run_experiment`'s (telemetry
+    observes the DES, it never charges simulated time), but results are
+    *not* memoized: the bundle carries the trace, the metrics registry
+    and the ledger, which the cache must not alias across callers.
+    """
+    import datetime
+
+    from repro.telemetry import RunTelemetry, build_ledger
+    from repro.telemetry.ledger import git_revision
+
+    if num_cgs < problem.min_cgs:
+        raise ValueError(
+            f"problem {problem.name} needs at least {problem.min_cgs} CGs "
+            f"(memory), got {num_cgs}"
+        )
+    telemetry = RunTelemetry()
+    sched_kwargs = calibration.scheduler_kwargs()
+    sched_kwargs["select_policy"] = variant.select_policy
+    if noise is not None:
+        sched_kwargs["noise"] = noise
+    grid = problem.grid()
+    burgers = BurgersProblem(grid, fast_exp=True, with_reduction=with_reduction)
+    controller = SimulationController(
+        grid,
+        burgers.tasks(),
+        burgers.init_tasks(),
+        num_ranks=num_cgs,
+        mode=variant.mode,
+        cost_model=variant.cost_model(),
+        real=False,
+        fabric_config=calibration.FABRIC,
+        trace_enabled=True,
+        scheduler_kwargs=sched_kwargs,
+        memory_limit_bytes=USABLE_BYTES_PER_CG,
+        telemetry=telemetry,
+    )
+    dt = burgers.stable_dt()
+    result = controller.run(nsteps=nsteps, dt=dt)
+    manifest = {
+        "problem": problem.name,
+        "variant": variant.name,
+        "select_policy": variant.select_policy,
+        "num_cgs": num_cgs,
+        "nsteps": nsteps,
+        "dt": dt,
+        "t0": 0.0,
+        "noise_seed": noise.seed if noise is not None else None,
+        "git_rev": git_revision(),
+        "created_at": (
+            created_at
+            if created_at is not None
+            else datetime.datetime.now(datetime.timezone.utc).isoformat()
+        ),
+    }
+    ledger = build_ledger(result, telemetry, manifest)
+    experiment = ExperimentResult(
+        problem=problem.name,
+        variant=variant.name,
+        num_cgs=num_cgs,
+        nsteps=nsteps,
+        time_per_step=result.time_per_step,
+        flops_per_step=result.flops_per_step,
+        messages_per_step=result.messages_sent / nsteps,
+        bytes_per_step=result.bytes_sent / nsteps,
+        kernel_timeouts=result.stats.kernel_timeouts,
+        kernel_retries=result.stats.kernel_retries,
+        mpe_fallbacks=result.stats.mpe_fallbacks,
+        mpi_retries=result.stats.mpi_retries,
+        stragglers_detected=result.stats.stragglers_detected,
+        rank_recoveries=result.stats.rank_recoveries,
+    )
+    return InstrumentedRun(
+        experiment=experiment, result=result, telemetry=telemetry, ledger=ledger
+    )

@@ -60,6 +60,32 @@ class DMATransfer:
 
 
 @dataclasses.dataclass(frozen=True)
+class DMAVolume:
+    """Aggregate DMA traffic of one kernel launch, all CPEs, all tiles.
+
+    Derived from the tile plan (not from individual transfers) so it can
+    be computed once per ``(task, extent)`` and cached alongside the
+    kernel-time cache.  ``descriptors`` counts DMA descriptors issued:
+    one per contiguous chunk of every get and put.
+    """
+
+    get_bytes: int = 0
+    put_bytes: int = 0
+    descriptors: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.get_bytes + self.put_bytes
+
+    def __add__(self, other: "DMAVolume") -> "DMAVolume":
+        return DMAVolume(
+            self.get_bytes + other.get_bytes,
+            self.put_bytes + other.put_bytes,
+            self.descriptors + other.descriptors,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class DMAEngine:
     """Per-CPE DMA cost model.
 

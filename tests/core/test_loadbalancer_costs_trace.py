@@ -209,11 +209,24 @@ def test_tracer_summarize_folds_task_names():
     tr.record(0, "cpe", "timeAdvance@p3", 0.0, 5.0)
     tr.record(1, "mpe", "copy", 0.0, 0.5)
     summary = tr.summarize(rank=0)
-    assert summary["mpe-part:timeAdvance"]["count"] == 2
-    assert summary["mpe-part:timeAdvance"]["total"] == pytest.approx(3.0)
-    assert summary["mpe-part:timeAdvance"]["mean"] == pytest.approx(1.5)
-    assert "copy" not in summary  # rank filter
-    assert tr.summarize()["copy"]["count"] == 1
+    assert summary[("mpe-part:timeAdvance", "mpe")]["count"] == 2
+    assert summary[("mpe-part:timeAdvance", "mpe")]["total"] == pytest.approx(3.0)
+    assert summary[("mpe-part:timeAdvance", "mpe")]["mean"] == pytest.approx(1.5)
+    assert ("copy", "mpe") not in summary  # rank filter
+    assert tr.summarize()[("copy", "mpe")]["count"] == 1
+
+
+def test_tracer_summarize_keeps_lanes_distinct():
+    # regression: the same folded activity name on both lanes used to be
+    # merged into one entry, mixing MPE seconds into CPE totals
+    tr = Tracer()
+    tr.record(0, "cpe", "timeAdvance@p1", 0.0, 5.0)
+    tr.record(0, "mpe", "timeAdvance@p1", 0.0, 1.0)  # e.g. an MPE fallback
+    summary = tr.summarize(rank=0)
+    assert summary[("timeAdvance", "cpe")]["total"] == pytest.approx(5.0)
+    assert summary[("timeAdvance", "cpe")]["count"] == 1
+    assert summary[("timeAdvance", "mpe")]["total"] == pytest.approx(1.0)
+    assert summary[("timeAdvance", "mpe")]["lane"] == "mpe"
 
 
 def test_tracer_chrome_export():
@@ -227,7 +240,15 @@ def test_tracer_chrome_export():
     json.dumps(events)  # must be serializable
     metas = [e for e in events if e["ph"] == "M"]
     spans = [e for e in events if e["ph"] == "X"]
-    assert len(metas) == 3 and len(spans) == 3
+    # 2 process_name (ranks 0, 1) + 3 thread_name (lanes) metadata events
+    process_metas = [m for m in metas if m["name"] == "process_name"]
+    thread_metas = [m for m in metas if m["name"] == "thread_name"]
+    assert len(process_metas) == 2 and len(thread_metas) == 3
+    assert {m["args"]["name"] for m in process_metas} == {"rank 0", "rank 1"}
+    assert len(spans) == 3
     kernel = next(e for e in spans if e["name"] == "kernel")
     assert kernel["dur"] == pytest.approx(2000.0)  # microseconds
     assert kernel["pid"] == 0
+    # span events are sorted for stable diffs
+    keys = [(e["ts"], e["pid"], e["tid"]) for e in spans]
+    assert keys == sorted(keys)

@@ -1,0 +1,26 @@
+"""Shared fixtures: one instrumented run reused across the telemetry tests.
+
+The DES is deterministic, so a single small model-mode run (the paper's
+smallest problem, 4 CGs, 3 steps) serves every assertion; module scope
+keeps the suite fast.
+"""
+
+import pytest
+
+from repro.harness.problems import problem_by_name
+from repro.harness.runner import run_instrumented
+from repro.harness.variants import variant_by_name
+
+NSTEPS = 3
+CGS = 4
+
+
+@pytest.fixture(scope="package")
+def bundle():
+    return run_instrumented(
+        problem_by_name("16x16x512"),
+        variant_by_name("acc.async"),
+        CGS,
+        nsteps=NSTEPS,
+        created_at="1970-01-01T00:00:00+00:00",
+    )

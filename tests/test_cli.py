@@ -100,3 +100,44 @@ def test_report_to_file(tmp_path, capsys):
         assert title in text
     err = capsys.readouterr().err
     assert "generating" in err
+
+
+def test_profile(capsys):
+    code = main(
+        ["profile", "--problem", "16x16x512", "--variant", "acc.async",
+         "--cgs", "2", "--nsteps", "2", "--top", "3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Per-rank time accounting" in out
+    assert "Run ledger" in out
+    assert "critical path" in out.lower()
+    assert "Top 3 activities" in out
+
+
+def test_trace_writes_perfetto_json(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "trace.json"
+    code = main(
+        ["trace", "--problem", "16x16x512", "--cgs", "2", "--nsteps", "2",
+         "--output", str(target)]
+    )
+    assert code == 0
+    events = json.loads(target.read_text())["traceEvents"]
+    assert any(e.get("name") == "process_name" for e in events)
+    out = capsys.readouterr().out
+    assert "ui.perfetto.dev" in out
+
+
+def test_run_telemetry_out(tmp_path, capsys):
+    outdir = tmp_path / "telemetry"
+    code = main(
+        ["run", "--problem", "16x16x512", "--variant", "acc.async",
+         "--cgs", "2", "--nsteps", "2", "--telemetry-out", str(outdir)]
+    )
+    assert code == 0
+    for name in ("ledger.jsonl", "metrics.json", "trace.json"):
+        assert (outdir / name).exists(), name
+    out = capsys.readouterr().out
+    assert "GFLOP/step (counted)" in out and "exp flop share" in out
