@@ -24,6 +24,29 @@ from repro.harness.runner import run_experiment, run_instrumented
 from repro.harness.variants import VARIANTS, variant_by_name
 
 
+def _check_outdir(path_str: str | None) -> str | None:
+    """Reject an output directory blocked by an existing file.
+
+    Returns an error message (for stderr) or None when the path is
+    usable; catching this up front turns a mid-run traceback into a
+    clear exit-code-2 diagnosis before any simulation time is spent.
+    """
+    import pathlib
+
+    if not path_str:
+        return None
+    path = pathlib.Path(path_str)
+    for candidate in [path, *path.parents]:
+        if candidate.exists():
+            if not candidate.is_dir():
+                return (
+                    f"cannot write telemetry to {path_str!r}: "
+                    f"{candidate} exists and is not a directory"
+                )
+            break
+    return None
+
+
 def _write_telemetry(outdir: str, bundle) -> None:
     """Write a run's telemetry artifacts (ledger, metrics, trace) to a dir."""
     import json
@@ -98,6 +121,10 @@ def _cmd_fig(args) -> int:
 def _cmd_run(args) -> int:
     from repro.burgers.flops import table1_row
 
+    err = _check_outdir(getattr(args, "telemetry_out", None))
+    if err is not None:
+        print(err, file=sys.stderr)
+        return 2
     problem = problem_by_name(args.problem)
     variant = dataclasses.replace(
         variant_by_name(args.variant), select_policy=args.select_policy
@@ -132,6 +159,10 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    err = _check_outdir(getattr(args, "telemetry_out", None))
+    if err is not None:
+        print(err, file=sys.stderr)
+        return 2
     problem = problem_by_name(args.problem)
     variant = dataclasses.replace(
         variant_by_name(args.variant), select_policy=args.select_policy
@@ -171,6 +202,10 @@ def _cmd_profile(args) -> int:
     from repro.telemetry import analyze
     from repro.telemetry.analyzer import render_top_tasks
 
+    err = _check_outdir(getattr(args, "telemetry_out", None))
+    if err is not None:
+        print(err, file=sys.stderr)
+        return 2
     problem = problem_by_name(args.problem)
     variant = dataclasses.replace(
         variant_by_name(args.variant), select_policy=args.select_policy
@@ -295,6 +330,85 @@ def _cmd_resilience(args) -> int:
     return 0 if identical else 1
 
 
+def _cmd_verify(args) -> int:
+    """Differential verification: invariants + bit-identical physics."""
+    from repro.verify import (
+        DEFAULT_MODES,
+        DEFAULT_SEEDS,
+        ReproBundle,
+        default_policies,
+        run_differential,
+    )
+
+    if args.quick and args.full:
+        print("choose one of --quick / --full, not both", file=sys.stderr)
+        return 2
+    err = _check_outdir(args.out)
+    if err is not None:
+        print(err, file=sys.stderr)
+        return 2
+
+    modes = tuple(args.modes) if args.modes else DEFAULT_MODES
+    if args.seeds is None:
+        seeds: tuple = (None, 7) if args.quick else DEFAULT_SEEDS
+    else:
+        seeds = tuple(
+            None if s.lower() == "none" else int(s) for s in args.seeds
+        )
+    if args.policies:
+        policies: tuple = tuple(args.policies)
+    else:
+        policies = ("fifo",) if args.quick else default_policies()
+    try:
+        extent = tuple(int(e) for e in args.extent.lower().split("x"))
+        if len(extent) != 3 or any(e < 1 for e in extent):
+            raise ValueError
+    except ValueError:
+        print(
+            f"bad --extent {args.extent!r}: expected NXxNYxNZ, e.g. 8x8x8",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = run_differential(
+        modes=modes,
+        policies=policies,
+        seeds=seeds,
+        nsteps=args.nsteps,
+        extent=extent,  # type: ignore[arg-type]
+        num_ranks=args.cgs,
+        out=args.out,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    rows = [
+        (c["mode"], c["policy"], str(c["seed"]),
+         str(c["violations"]), "yes" if c["identical_physics"] else "NO",
+         "pass" if c["ok"] else "FAIL")
+        for c in report["cases"]
+    ]
+    print(
+        render_table(
+            f"Differential verification ({report['num_cases']} cases)",
+            ["Mode", "Policy", "Seed", "Violations", "Identical", "Verdict"],
+            rows,
+        )
+    )
+    for gate in report["nonperturbation"]:
+        verdict = "bit-identical" if gate["identical"] else "PERTURBED"
+        print(f"validator non-perturbation [{gate['mode']}]: {verdict}")
+    if not report["passed"]:
+        for b in report["bundles"]:
+            print()
+            print(ReproBundle(**{k: v for k, v in b.items() if k != "command"}).render())
+        if args.out:
+            print(f"\nreport + repro bundles written to {args.out}/", file=sys.stderr)
+        return 1
+    print("all cases passed: zero violations, bitwise-identical physics")
+    if args.out:
+        print(f"report written to {args.out}/report.json", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.harness.report import full_report
 
@@ -414,6 +528,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-step", type=int, default=8, help="timestep the rank dies at")
     p.add_argument("--checkpoint-every", type=int, default=5)
     p.set_defaults(fn=_cmd_resilience)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential verification: schedule invariants + bit-identical physics",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="small matrix (all modes, fifo, one fault seed) for CI smoke",
+    )
+    p.add_argument(
+        "--full",
+        action="store_true",
+        help="full matrix (all modes x all policies x all seeds); the default",
+    )
+    p.add_argument(
+        "--modes",
+        nargs="+",
+        choices=["mpe_only", "sync", "async"],
+        default=None,
+        help="scheduler modes to cover (default: all)",
+    )
+    p.add_argument(
+        "--policies",
+        nargs="+",
+        choices=sorted(POLICIES),
+        default=None,
+        help="selection policies to cover (default: all; --quick: fifo)",
+    )
+    p.add_argument(
+        "--seeds",
+        nargs="+",
+        default=None,
+        metavar="SEED",
+        help="fault seeds to cover ('none' = fault-free case)",
+    )
+    p.add_argument("--nsteps", type=int, default=3)
+    p.add_argument("--extent", default="8x8x8", help="grid extent, e.g. 8x8x8")
+    p.add_argument("--cgs", type=int, default=2, help="simulated core-groups (ranks)")
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write report.json and any repro bundles under DIR/",
+    )
+    p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("report", help="regenerate the complete evaluation")
     p.add_argument("--nsteps", type=int, default=10)

@@ -116,6 +116,7 @@ class SimulationController:
         faults=None,
         resilience=None,
         telemetry=None,
+        validator=None,
     ):
         self.grid = grid
         self.num_ranks = num_ranks
@@ -135,6 +136,10 @@ class SimulationController:
         #: not shift step attribution (step counting starts at the first
         #: instrumented ``step-begin``).
         self.telemetry = telemetry
+        #: Optional :class:`~repro.verify.ScheduleValidator`.  Same reach
+        #: as telemetry — timestep schedulers only — plus the per-rank
+        #: data warehouses, which it audits through their observer hook.
+        self.validator = validator
         self.sim = Simulator()
         self.fabric = Fabric(
             self.sim,
@@ -197,6 +202,8 @@ class SimulationController:
             sched_kwargs["resilience"] = resilience
         if telemetry is not None:
             sched_kwargs["telemetry"] = telemetry
+        if validator is not None:
+            sched_kwargs["validator"] = validator
         self.schedulers = [
             factory(
                 self.sim,
@@ -215,6 +222,7 @@ class SimulationController:
         sched_kwargs.pop("faults", None)
         sched_kwargs.pop("resilience", None)
         sched_kwargs.pop("telemetry", None)
+        sched_kwargs.pop("validator", None)
         self._folded_retries = [0] * num_ranks
         self.init_schedulers = [
             factory(
@@ -300,6 +308,8 @@ class SimulationController:
             at = self.athreads[rank]
             at.faults = None
             dw0 = DataWarehouse(0, rank)
+            if self.validator is not None:
+                self.validator.watch_dw(dw0)
             yield from self.init_schedulers[rank].execute_timestep(
                 step=0, time=t0 + start_step * dt, dt_value=dt, old_dw=None, new_dw=dw0
             )
@@ -310,6 +320,8 @@ class SimulationController:
             old = dw0
             for s in range(1, nsteps + 1):
                 new = DataWarehouse(s, rank)
+                if self.validator is not None:
+                    self.validator.watch_dw(new)
                 if self._static_labels and self.real:
                     self._forward_static(old, new)
                 yield from self.schedulers[rank].execute_timestep(

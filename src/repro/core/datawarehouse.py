@@ -10,6 +10,23 @@ Each simulated rank owns one old and one new :class:`DataWarehouse` per
 timestep, holding only its local patches' variables (plus whatever ghost
 data has been unpacked into their halos).  Reduction variables live in
 the warehouse as scalars.
+
+Access accounting: a warehouse remembers which keys were scrubbed, so
+the three classic lifecycle bugs surface with precise diagnostics
+instead of bare ``KeyError``/silent ``False``:
+
+* *read-before-put* — ``get`` of a key no task has produced;
+* *use-after-scrub* — ``get`` of a key whose last consumer already
+  retired it;
+* *double-put* / *double-scrub* — violations of the single-assignment
+  and scrub-once contracts.
+
+An optional ``observer`` (the ``repro.verify`` schedule validator's
+access audit) is notified of each of these *before* the error is
+raised, so an online checker can attribute the violation to the running
+schedule even when the raise is swallowed upstream.  The observer hooks
+charge no simulated time and are ``None`` by default: an unobserved
+warehouse behaves byte-identically to the unhooked implementation.
 """
 
 from __future__ import annotations
@@ -24,33 +41,56 @@ from repro.core.varlabel import VarLabel
 class DataWarehouse:
     """Variable storage for one rank and one timestep generation."""
 
-    def __init__(self, step: int, rank: int = 0):
+    def __init__(self, step: int, rank: int = 0, observer=None):
         self.step = step
         self.rank = rank
+        #: Access-audit hook (``on_dw_double_put`` / ``on_dw_bad_get`` /
+        #: ``on_dw_double_scrub``); set by the verification subsystem.
+        self.observer = observer
         self._grid_vars: dict[tuple[str, int], CCVariable] = {}
         self._reductions: dict[str, float] = {}
+        #: Keys removed by :meth:`scrub_named` (for use-after-scrub
+        #: diagnostics; scrubbing reclaims the data, not the history).
+        self._scrubbed: set[tuple[str, int]] = set()
 
     # -- grid variables ----------------------------------------------------------
     def put(self, var: CCVariable) -> None:
         """Store a grid variable; a label/patch pair may only be computed once
         per timestep (Uintah's single-assignment rule)."""
         key = (var.label.name, var.patch.patch_id)
-        if key in self._grid_vars:
+        if key in self._grid_vars or key in self._scrubbed:
+            if self.observer is not None:
+                self.observer.on_dw_double_put(self, key)
+            was = "already scrubbed" if key in self._scrubbed else "already computed"
             raise KeyError(
-                f"{var.label.name!r} on patch {var.patch.patch_id} already computed "
+                f"{var.label.name!r} on patch {var.patch.patch_id} {was} "
                 f"in DW step {self.step} (variables are single-assignment)"
             )
         self._grid_vars[key] = var
 
     def get(self, label: VarLabel, patch: Patch) -> CCVariable:
-        """Fetch a grid variable; raises if the task graph never produced it."""
-        try:
-            return self._grid_vars[(label.name, patch.patch_id)]
-        except KeyError:
+        """Fetch a grid variable.
+
+        Raises :class:`KeyError` with a precise diagnosis when the task
+        graph never produced it (read-before-put) or when it was already
+        scrubbed after its last counted consumer (use-after-scrub).
+        """
+        key = (label.name, patch.patch_id)
+        var = self._grid_vars.get(key)
+        if var is None:
+            scrubbed = key in self._scrubbed
+            if self.observer is not None:
+                self.observer.on_dw_bad_get(self, key, scrubbed)
+            if scrubbed:
+                raise KeyError(
+                    f"{label.name!r} on patch {patch.patch_id} was already scrubbed "
+                    f"in DW step {self.step} (rank {self.rank}): use-after-scrub"
+                )
             raise KeyError(
                 f"{label.name!r} on patch {patch.patch_id} not in DW step {self.step} "
                 f"(rank {self.rank})"
-            ) from None
+            )
+        return var
 
     def exists(self, label: VarLabel, patch: Patch) -> bool:
         """Whether a grid variable is present."""
@@ -74,8 +114,31 @@ class DataWarehouse:
         return self.scrub_named(label.name, patch.patch_id)
 
     def scrub_named(self, label_name: str, patch_id: int) -> bool:
-        """Scrub by key — what the scheduler's scrub machinery uses."""
-        return self._grid_vars.pop((label_name, patch_id), None) is not None
+        """Scrub by key — what the scheduler's scrub machinery uses.
+
+        Scrubbing is a once-only operation: scrubbing a key that was
+        already scrubbed raises :class:`KeyError` naming the label,
+        patch and step (the scheduler's consumer counting guarantees
+        exactly one scrub per key — a second one is a runtime bug, not
+        an idempotent no-op).  Scrubbing a key that was never present
+        returns ``False``.
+        """
+        key = (label_name, patch_id)
+        if key in self._scrubbed:
+            if self.observer is not None:
+                self.observer.on_dw_double_scrub(self, key)
+            raise KeyError(
+                f"{label_name!r} on patch {patch_id} already scrubbed "
+                f"in DW step {self.step} (rank {self.rank}): double-scrub"
+            )
+        if self._grid_vars.pop(key, None) is None:
+            return False
+        self._scrubbed.add(key)
+        return True
+
+    def was_scrubbed(self, label_name: str, patch_id: int) -> bool:
+        """Whether a key has been scrubbed from this warehouse."""
+        return (label_name, patch_id) in self._scrubbed
 
     # -- reductions -----------------------------------------------------------------
     def put_reduction(self, label: VarLabel, value: float) -> None:

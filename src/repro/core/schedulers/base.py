@@ -192,6 +192,7 @@ class SchedulerCore:
         faults=None,
         resilience=None,
         telemetry=None,
+        validator=None,
     ):
         self.sim = sim
         self.rank = rank
@@ -243,6 +244,14 @@ class SchedulerCore:
         self.telemetry = telemetry
         if telemetry is not None:
             self.lifecycle.subscribe(telemetry.subscriber_for(rank))
+        #: Online schedule validator (:class:`repro.verify.ScheduleValidator`);
+        #: a pure observer of the lifecycle bus — off by default and, when
+        #: on, provably non-perturbing (it charges no simulated time).
+        self.validator = validator
+        if validator is not None:
+            self.lifecycle.subscribe(
+                validator.subscriber_for(rank, graph, cost_model)
+            )
 
     def _mark_ready(self, dt) -> None:
         """ReadinessTracker ``on_ready`` hook: PENDING → READY."""
@@ -259,7 +268,7 @@ class SchedulerCore:
             # and aborts Simulator.run for checkpoint recovery.
             self.faults.on_step_begin(rank, step)
         local = graph.local_tasks(rank)
-        self.lifecycle.begin_step(local)
+        self.lifecycle.begin_step(local, step=step)
         return StepContext(
             step=step,
             time=time,

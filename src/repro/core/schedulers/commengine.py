@@ -126,14 +126,14 @@ class CommEngine:
             del self.scrub_counts[key]
             if sched.real and self.st.old_dw is not None:
                 self.st.old_dw.scrub_named(label_name, pid)
-            sched.lifecycle.emit("scrubbed")
+            sched.lifecycle.emit("scrubbed", label=label_name, patch=pid)
         else:
             self.scrub_counts[key] = left - 1
 
     # ------------------------------------------------------------ effects
     def apply_copy(self, spec: CopySpec) -> None:
         sched, st = self.sched, self.st
-        sched.lifecycle.emit("local-copy")
+        sched.lifecycle.emit("local-copy", spec.consumer)
         if sched.real:
             dw = st.dw_for(spec.dw)
             data = dw.get(spec.label, spec.from_patch).get_region(spec.region)
@@ -173,7 +173,7 @@ class CommEngine:
 
     def apply_unpack(self, spec: MessageSpec, payload) -> None:
         sched, st = self.sched, self.st
-        sched.lifecycle.emit("msg-recv")
+        sched.lifecycle.emit("msg-recv", spec.consumer, nbytes=spec.nbytes)
         if sched.telemetry is not None:
             sched.telemetry.on_ghost_unpack(sched.rank, spec.nbytes)
         if sched.real:

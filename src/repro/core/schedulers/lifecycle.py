@@ -109,10 +109,18 @@ class TaskLifecycle:
         """Register an observer called synchronously on every event."""
         self._subs.append(fn)
 
-    def begin_step(self, tasks) -> None:
-        """Register this timestep's tasks (all PENDING) and announce it."""
+    def begin_step(self, tasks, step: int = 0) -> None:
+        """Register this timestep's tasks (all PENDING) and announce it.
+
+        The event's ``info`` carries the task list and the step number so
+        observers that mirror the state machine (the schedule validator)
+        know the step's population without threading it separately.
+        """
+        tasks = list(tasks)
         self._state = {dt.dt_id: TaskState.PENDING for dt in tasks}
-        ev = LifecycleEvent("step-begin", None, None, self._clock.now, {})
+        ev = LifecycleEvent(
+            "step-begin", None, None, self._clock.now, {"tasks": tasks, "step": step}
+        )
         for fn in self._subs:
             fn(ev)
 

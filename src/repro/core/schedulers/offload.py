@@ -80,6 +80,8 @@ class OffloadEngine:
         #: Offload slot per CPE group -> in-flight kernel.
         self.inflight: dict[int, Flight] = {}
         self.flag = CompletionFlag(sched.sim)
+        if sched.validator is not None:
+            sched.validator.watch_flag(sched.rank, self.flag)
         #: Tasks whose useful flops were already counted (retries and
         #: fallbacks must not double-count).
         self.flops_counted: set[int] = set()

@@ -210,7 +210,7 @@ class UnifiedHostScheduler(SchedulerCore):
             elif kind == "copy":
                 spec: CopySpec = unit[1]
                 yield from thread_mpe(tid, "copy", self.costs.pack_time(spec.ncells, remote=False))
-                self.lifecycle.emit("local-copy")
+                self.lifecycle.emit("local-copy", spec.consumer)
                 if self.real:
                     dw = st.dw_for(spec.dw)
                     dw.get(spec.label, spec.to_patch).set_region(
@@ -250,7 +250,7 @@ class UnifiedHostScheduler(SchedulerCore):
                     "unpack",
                     self.costs.pack_time(spec.region.num_cells, remote=True),
                 )
-                self.lifecycle.emit("msg-recv")
+                self.lifecycle.emit("msg-recv", spec.consumer, nbytes=spec.nbytes)
                 if self.real:
                     dw = st.dw_for(spec.dw)
                     dw.get(spec.label, spec.to_patch).set_region(spec.region, payload)

@@ -41,6 +41,10 @@ class CompletionFlag:
         self.sim = sim
         self._value = int(initial)
         self._waiters: list[tuple[int, Event]] = []
+        #: Completion-flag audit hook (``on_clear`` / ``on_faaw``); set by
+        #: the verification subsystem, ``None`` in normal runs.  Observers
+        #: charge no simulated time.
+        self.observer = None
 
     @property
     def value(self) -> int:
@@ -49,12 +53,16 @@ class CompletionFlag:
 
     def clear(self) -> None:
         """Reset to zero (scheduler step 3(b)iv: 'clear the completion flag')."""
+        if self.observer is not None:
+            self.observer.on_clear(self, self._value)
         self._value = 0
 
     def faaw(self, increment: int = 1) -> int:
         """Fetch-and-add-word: atomically add and return the old value."""
         old = self._value
         self._value += int(increment)
+        if self.observer is not None:
+            self.observer.on_faaw(self, old, self._value)
         still_waiting = []
         for target, ev in self._waiters:
             if self._value >= target and not ev.triggered:

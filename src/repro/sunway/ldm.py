@@ -17,6 +17,12 @@ from __future__ import annotations
 import dataclasses
 
 
+#: SW26010 scratchpad size: the budget every tile plan is checked
+#: against (also the default :class:`LDM` capacity, and the ceiling the
+#: schedule validator enforces on offloaded kernels).
+DEFAULT_LDM_BYTES = 64 * 1024
+
+
 class LDMAllocationError(MemoryError):
     """Raised when a requested allocation exceeds the remaining LDM."""
 
@@ -41,7 +47,7 @@ class LDM:
         by passing a reduced capacity).
     """
 
-    def __init__(self, capacity: int = 64 * 1024):
+    def __init__(self, capacity: int = DEFAULT_LDM_BYTES):
         if capacity <= 0:
             raise ValueError(f"LDM capacity must be positive, got {capacity}")
         self.capacity = int(capacity)

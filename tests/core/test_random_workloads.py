@@ -1,7 +1,8 @@
 """Property tests: randomized multi-stage workloads through the full stack.
 
 Hypothesis generates task pipelines (random stage counts, ghost widths,
-optional reductions), random rank counts, balancer strategies and
+optional reductions) via the shared strategies module
+(``tests/strategies.py``), random rank counts, balancer strategies and
 scheduler modes; every combination must complete without deadlock and —
 in real mode — produce results identical to a single-rank reference.
 This is the out-of-order-execution safety net for the whole runtime.
@@ -10,118 +11,26 @@ This is the out-of-order-execution safety net for the whole runtime.
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.core.controller import SimulationController
-from repro.core.grid import Grid
 from repro.core.loadbalancer import LoadBalancer
-from repro.core.task import Task, TaskContext, TaskKind
-from repro.core.varlabel import VarLabel
-from repro.sunway.corerates import KernelCost
 
-COST = KernelCost(stencil_flops=20, exp_calls=0)
-
-
-def build_pipeline(num_stages: int, ghost_pattern: list[int], with_reduction: bool):
-    """A circular chain u0 -> u1 -> ... -> u0 of stencil-ish stages.
-
-    The last stage writes u0 again so the next timestep's old-DW
-    requirement is satisfied — the same closure property every real
-    Uintah timestep graph has.
-    """
-    labels = [VarLabel(f"u{i}") for i in range(num_stages)]
-    labels.append(labels[0])  # circular: stage n-1 recomputes u0
-
-    def make_action(src: VarLabel, dst: VarLabel, ghosts: int, stage: int):
-        def action(ctx: TaskContext) -> None:
-            prev_dw = ctx.old_dw if stage == 0 else ctx.new_dw
-            old = prev_dw.get(src, ctx.patch)
-            new = ctx.new_dw.allocate_and_put(dst, ctx.patch, ghosts=1)
-            u = old.data
-            if ghosts:
-                # average with the -x neighbour: exercises halo data
-                new.interior[...] = 0.5 * (u[1:-1, 1:-1, 1:-1] + u[:-2, 1:-1, 1:-1])
-            else:
-                new.interior[...] = u[1:-1, 1:-1, 1:-1] * 1.03125 + float(stage)
-        return action
-
-    def make_bc(src: VarLabel, stage: int):
-        def bc(ctx: TaskContext) -> None:
-            dw = ctx.old_dw if stage == 0 else ctx.new_dw
-            var = dw.get(src, ctx.patch)
-            for axis, side in ctx.grid.boundary_faces(ctx.patch):
-                var.region_view(ctx.patch.ghost_region(axis, side))[...] = 0.25
-        return bc
-
-    tasks = []
-    for stage in range(num_stages):
-        src, dst = labels[stage], labels[stage + 1]
-        ghosts = ghost_pattern[stage % len(ghost_pattern)]
-        task = Task(
-            f"stage{stage}",
-            kind=TaskKind.CPE_KERNEL,
-            action=make_action(src, dst, ghosts, stage),
-            mpe_action=make_bc(src, stage) if ghosts else None,
-            kernel_cost=COST,
-        )
-        task.requires_(src, dw="old" if stage == 0 else "new", ghosts=ghosts)
-        task.computes_(dst)
-        tasks.append(task)
-
-    if with_reduction:
-        norm = VarLabel("norm", vartype="reduction")
-        red = Task(
-            "norm",
-            kind=TaskKind.REDUCTION,
-            action=lambda ctx: float(ctx.new_dw.get(labels[-1], ctx.patch).interior.sum()),
-            reduction_op=lambda a, b: a + b,
-        )
-        red.requires_(labels[-1], dw="new").computes_(norm)
-        tasks.append(red)
-
-    def init_action(ctx: TaskContext) -> None:
-        var = ctx.new_dw.allocate_and_put(labels[0], ctx.patch, ghosts=1)
-        lo = ctx.patch.low
-        var.interior[...] = (
-            np.arange(var.interior.size, dtype=np.float64).reshape(var.interior.shape)
-            * 1e-3
-            + lo[0] + 2 * lo[1] + 3 * lo[2]
-        )
-
-    init = Task("init", kind=TaskKind.MPE, action=init_action)
-    init.computes_(labels[0])
-    return tasks, [init], labels
-
-
-def run_workload(tasks, init, num_ranks, mode, balancer, nsteps):
-    grid = Grid(extent=(8, 8, 8), layout=(2, 2, 2))
-    ctl = SimulationController(
-        grid, tasks, init, num_ranks=num_ranks, mode=mode,
-        balancer=balancer, real=True,
-    )
-    res = ctl.run(nsteps=nsteps, dt=1e-3)
-    out = {}
-    for dw in res.final_dws:
-        for var in dw.grid_variables():
-            out[(var.label.name, var.patch.patch_id)] = var.interior.copy()
-    return out, res
+from tests.strategies import SCHEDULER_MODES, build_pipeline, pipelines, run_workload
 
 
 @settings(deadline=None, max_examples=25)
 @given(
-    num_stages=st.integers(1, 3),
-    ghost_pattern=st.lists(st.integers(0, 1), min_size=1, max_size=3),
-    with_reduction=st.booleans(),
+    pipeline=pipelines(),
     num_ranks=st.sampled_from([2, 4, 8]),
-    mode=st.sampled_from(["async", "sync", "mpe_only"]),
+    mode=st.sampled_from(SCHEDULER_MODES),
     balancer=st.sampled_from(LoadBalancer.STRATEGIES),
 )
 def test_property_random_pipeline_matches_serial_reference(
-    num_stages, ghost_pattern, with_reduction, num_ranks, mode, balancer
+    pipeline, num_ranks, mode, balancer
 ):
-    tasks, init, labels = build_pipeline(num_stages, ghost_pattern, with_reduction)
+    tasks, init, labels = build_pipeline(**pipeline)
     ref, ref_res = run_workload(tasks, init, 1, "async", "block", nsteps=2)
     # fresh task objects for the second controller (tasks are stateless,
     # but build again to rule out shared-state artefacts)
-    tasks2, init2, _ = build_pipeline(num_stages, ghost_pattern, with_reduction)
+    tasks2, init2, _ = build_pipeline(**pipeline)
     got, got_res = run_workload(tasks2, init2, num_ranks, mode, balancer, nsteps=2)
     assert set(got) == set(ref)
     for key in ref:

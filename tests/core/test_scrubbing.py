@@ -76,8 +76,8 @@ def test_scrub_counts_all_modes(mode):
 
 
 def test_scrub_delegates_to_scrub_named():
-    """Both scrub entry points share one removal path and report whether
-    anything was actually dropped."""
+    """Both scrub entry points share one removal path; scrubbing twice is
+    a runtime bug and raises with a precise diagnosis."""
     from repro.core.datawarehouse import DataWarehouse
     from repro.core.varlabel import VarLabel
 
@@ -88,12 +88,14 @@ def test_scrub_delegates_to_scrub_named():
     dw.allocate_and_put(label, patch)
 
     assert dw.scrub(label, patch) is True  # removed
-    assert dw.scrub(label, patch) is False  # already gone
     assert not dw.exists(label, patch)
-
-    dw.allocate_and_put(label, patch)
-    assert dw.scrub_named("u", patch.patch_id) is True
-    assert dw.scrub_named("u", patch.patch_id) is False
+    assert dw.was_scrubbed("u", patch.patch_id)
+    with pytest.raises(KeyError, match="double-scrub"):
+        dw.scrub(label, patch)
+    with pytest.raises(KeyError, match="double-scrub"):
+        dw.scrub_named("u", patch.patch_id)
+    # a key that was never present is not a double-scrub: plain False
+    assert dw.scrub_named("v", patch.patch_id) is False
 
 
 def test_scrub_counts_multirank():

@@ -127,7 +127,62 @@ def test_dw_scrub():
     dw.allocate_and_put(U, patch)
     dw.scrub(U, patch)
     assert not dw.exists(U, patch)
-    dw.scrub(U, patch)  # idempotent
+    with pytest.raises(KeyError, match="double-scrub"):
+        dw.scrub(U, patch)
+
+
+def test_dw_get_after_scrub_names_the_bug():
+    patch = make_patch()
+    dw = DataWarehouse(step=2, rank=1)
+    dw.allocate_and_put(U, patch)
+    dw.scrub(U, patch)
+    with pytest.raises(KeyError, match="use-after-scrub"):
+        dw.get(U, patch)
+
+
+def test_dw_put_after_scrub_rejected():
+    patch = make_patch()
+    dw = DataWarehouse(step=1)
+    dw.allocate_and_put(U, patch)
+    dw.scrub(U, patch)
+    with pytest.raises(KeyError, match="single-assignment"):
+        dw.allocate_and_put(U, patch)
+
+
+def test_dw_observer_sees_access_bugs():
+    class Audit:
+        def __init__(self):
+            self.events = []
+
+        def on_dw_double_put(self, dw, key):
+            self.events.append(("double-put", key))
+
+        def on_dw_bad_get(self, dw, key, scrubbed):
+            self.events.append(("bad-get", key, scrubbed))
+
+        def on_dw_double_scrub(self, dw, key):
+            self.events.append(("double-scrub", key))
+
+    patch = make_patch()
+    audit = Audit()
+    dw = DataWarehouse(step=1, observer=audit)
+    key = ("u", patch.patch_id)
+    with pytest.raises(KeyError):
+        dw.get(U, patch)  # read-before-put
+    dw.allocate_and_put(U, patch)
+    with pytest.raises(KeyError):
+        dw.allocate_and_put(U, patch)  # double-put
+    dw.scrub(U, patch)
+    with pytest.raises(KeyError):
+        dw.get(U, patch)  # use-after-scrub
+    with pytest.raises(KeyError):
+        dw.scrub(U, patch)  # double-scrub
+    assert audit.events == [
+        ("bad-get", key, False),
+        ("double-put", key),
+        ("bad-get", key, True),
+        ("double-scrub", key),
+    ]
 
 
 def test_dw_reductions():

@@ -5,17 +5,19 @@ times — channel pairing is fixed when the receive is matched, unpacks
 write disjoint ghost regions, and reductions combine in rank order.  So
 whatever the injector deals to the interconnect, the final fields must be
 bit-identical to the fault-free run.  Hypothesis searches the fault-
-configuration space for a counterexample.
+configuration space (via the shared ``tests/strategies.py`` generators)
+for a counterexample.
 """
 
 import numpy as np
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.burgers import BurgersProblem
 from repro.core.controller import SimulationController
 from repro.core.grid import Grid
-from repro.faults import FaultConfig, FaultInjector, ResiliencePolicy
+from repro.faults import FaultInjector, ResiliencePolicy
+
+from tests.strategies import fault_plans
 
 GRID = Grid(extent=(12, 12, 12), layout=(2, 1, 1))
 _PROBLEM = BurgersProblem(GRID)
@@ -48,16 +50,8 @@ _REFERENCE = fields(run())
 
 
 @settings(deadline=None, max_examples=15)
-@given(
-    seed=st.integers(min_value=0, max_value=2**31 - 1),
-    drop=st.floats(min_value=0.0, max_value=0.4),
-    dup=st.floats(min_value=0.0, max_value=0.3),
-    delay=st.floats(min_value=0.0, max_value=0.3),
-)
-def test_message_faults_keep_physics_bit_identical(seed, drop, dup, delay):
-    cfg = FaultConfig(
-        seed=seed, msg_drop_prob=drop, msg_dup_prob=dup, msg_delay_prob=delay
-    )
+@given(cfg=fault_plans())
+def test_message_faults_keep_physics_bit_identical(cfg):
     got = fields(run(faults=FaultInjector(cfg)))
     assert set(got) == set(_REFERENCE)
     for pid, ref in _REFERENCE.items():

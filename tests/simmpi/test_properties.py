@@ -5,20 +5,11 @@ from hypothesis import given, settings, strategies as st
 from repro.des import Simulator
 from repro.simmpi import Comm, Fabric, FabricConfig
 
+from tests.strategies import comm_ops
+
 
 @settings(deadline=None, max_examples=40)
-@given(
-    ops=st.lists(
-        st.tuples(
-            st.sampled_from(["send", "recv"]),
-            st.integers(0, 2),       # source / sender rank
-            st.integers(0, 2),       # dest / receiver rank
-            st.integers(0, 2),       # tag
-            st.integers(0, 100_000), # nbytes (sends only)
-        ),
-        max_size=40,
-    )
-)
+@given(ops=comm_ops(num_ranks=3, max_tag=2, max_ops=40))
 def test_property_matched_pairs_deliver_fifo(ops):
     """Whatever the posting order, matched (src,dst,tag) traffic arrives
     complete and in FIFO order per channel."""

@@ -1,0 +1,115 @@
+"""Edge cases for ledger comparison and trace summarization.
+
+The regression gate and the profiler both see degenerate inputs in
+practice — empty runs, single-rank runs, ledgers written before metrics
+existed, duplicate activity names across lanes — and must degrade to
+well-defined answers, not division errors or silently merged rows.
+"""
+
+from repro.core.trace import Tracer
+from repro.telemetry.ledger import LedgerStep, RunLedger, compare_ledgers
+
+
+def _step(step=0, wall=1.0, ranks=2, overlap=0.25, comm_wait=0.1):
+    return LedgerStep(
+        step=step,
+        wall=wall,
+        sim_time=(step + 1) * 1e-3,
+        mpe_busy=[wall * 0.8] * ranks,
+        cpe_busy=[wall * 0.5] * ranks,
+        overlap=[overlap] * ranks,
+        comm_wait=[comm_wait] * ranks,
+        totals={"tasks_run": 4.0 * ranks},
+    )
+
+
+def _ledger(steps, metrics=None):
+    return RunLedger(manifest={"mode": "async"}, steps=steps, metrics=metrics or {})
+
+
+# ---------------------------------------------------------- compare_ledgers
+def test_compare_empty_ledgers_passes():
+    assert compare_ledgers(_ledger([]), _ledger([])) == []
+
+
+def test_compare_against_empty_baseline_never_divides():
+    """A zero-wall baseline cannot gate ratios; only absolute checks run."""
+    candidate = _ledger([_step(wall=100.0, comm_wait=5.0)])
+    assert compare_ledgers(_ledger([]), candidate) == []
+
+
+def test_compare_single_rank_ledgers():
+    base = _ledger([_step(ranks=1), _step(step=1, ranks=1)])
+    good = _ledger([_step(ranks=1), _step(step=1, ranks=1)])
+    assert compare_ledgers(base, good) == []
+    # overlap scales with the slower step's cpe time: fraction unchanged
+    slow = _ledger(
+        [
+            _step(ranks=1, wall=3.0, overlap=0.75),
+            _step(step=1, ranks=1, wall=3.0, overlap=0.75),
+        ]
+    )
+    issues = compare_ledgers(base, slow)
+    assert len(issues) == 1 and "wall time regressed" in issues[0]
+
+
+def test_compare_flags_overlap_erosion_even_with_flat_wall():
+    base = _ledger([_step(overlap=0.4)])
+    eroded = _ledger([_step(overlap=0.1)])
+    issues = compare_ledgers(base, eroded)
+    assert any("overlap fraction dropped" in i for i in issues)
+
+
+def test_compare_flags_comm_wait_regression():
+    base = _ledger([_step(comm_wait=0.1)])
+    waity = _ledger([_step(comm_wait=0.5)])
+    issues = compare_ledgers(base, waity)
+    assert any("comm-wait regressed" in i for i in issues)
+
+
+def test_compare_flags_step_count_mismatch():
+    base = _ledger([_step(), _step(step=1)])
+    short = _ledger([_step()])
+    issues = compare_ledgers(base, short)
+    assert any("step count differs" in i for i in issues)
+
+
+def test_metrics_free_ledger_round_trips(tmp_path):
+    """Ledgers written without a metrics line read back with empty metrics."""
+    ledger = _ledger([_step()])
+    assert "\"kind\": \"metrics\"" not in ledger.to_jsonl()
+    path = ledger.write(tmp_path / "run.jsonl")
+    back = RunLedger.read(path)
+    assert back.metrics == {}
+    assert len(back.steps) == 1
+    assert compare_ledgers(ledger, back) == []
+
+
+# ---------------------------------------------------------- Tracer.summarize
+def test_summarize_keeps_same_name_on_different_lanes_apart():
+    tr = Tracer()
+    tr.record(0, "mpe", "timeAdvance@p0", 0.0, 1.0)
+    tr.record(0, "cpe", "timeAdvance@p0", 0.0, 3.0)
+    summary = tr.summarize()
+    assert set(summary) == {("timeAdvance", "mpe"), ("timeAdvance", "cpe")}
+    assert summary[("timeAdvance", "mpe")]["total"] == 1.0
+    assert summary[("timeAdvance", "cpe")]["total"] == 3.0
+
+
+def test_summarize_folds_patch_suffixes_per_lane():
+    tr = Tracer()
+    tr.record(0, "mpe", "mpe-part:timeAdvance@p0", 0.0, 1.0)
+    tr.record(0, "mpe", "mpe-part:timeAdvance@p1", 1.0, 3.0)
+    tr.record(1, "mpe", "mpe-part:timeAdvance@p2", 0.0, 2.0)
+    summary = tr.summarize()
+    entry = summary[("mpe-part:timeAdvance", "mpe")]
+    assert entry["count"] == 3
+    assert entry["total"] == 5.0
+    assert entry["mean"] == 5.0 / 3
+    # rank filter narrows the same key
+    assert tr.summarize(rank=1)[("mpe-part:timeAdvance", "mpe")]["count"] == 1
+
+
+def test_summarize_empty_tracer_is_empty():
+    assert Tracer().summarize() == {}
+    assert Tracer(enabled=False).summarize() == {}

@@ -130,6 +130,62 @@ def test_trace_writes_perfetto_json(tmp_path, capsys):
     assert "ui.perfetto.dev" in out
 
 
+def test_run_rejects_unknown_variant():
+    with pytest.raises(SystemExit):
+        main(["run", "--problem", "16x16x512", "--variant", "gpu.turbo"])
+
+
+def test_run_rejects_blocked_telemetry_out(tmp_path, capsys):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("occupied\n")
+    code = main(
+        ["run", "--problem", "16x16x512", "--cgs", "2", "--nsteps", "1",
+         "--telemetry-out", str(blocker / "telemetry")]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "not-a-dir" in err and "not a directory" in err
+
+
+def test_profile_rejects_blocked_telemetry_out(tmp_path, capsys):
+    blocker = tmp_path / "file.txt"
+    blocker.write_text("occupied\n")
+    code = main(
+        ["profile", "--problem", "16x16x512", "--cgs", "2", "--nsteps", "1",
+         "--telemetry-out", str(blocker)]
+    )
+    assert code == 2
+    assert "file.txt" in capsys.readouterr().err
+
+
+def test_verify_rejects_unknown_mode():
+    with pytest.raises(SystemExit):
+        main(["verify", "--modes", "warp_drive"])
+
+
+def test_verify_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        main(["verify", "--policies", "fastest_first"])
+
+
+def test_verify_rejects_conflicting_depth_flags(capsys):
+    assert main(["verify", "--quick", "--full"]) == 2
+    err = capsys.readouterr().err
+    assert "--quick" in err and "--full" in err
+
+
+def test_verify_rejects_malformed_extent(capsys):
+    assert main(["verify", "--quick", "--extent", "8x8"]) == 2
+    assert "8x8" in capsys.readouterr().err
+
+
+def test_verify_rejects_blocked_out_dir(tmp_path, capsys):
+    blocker = tmp_path / "report"
+    blocker.write_text("occupied\n")
+    assert main(["verify", "--quick", "--out", str(blocker)]) == 2
+    assert "report" in capsys.readouterr().err
+
+
 def test_run_telemetry_out(tmp_path, capsys):
     outdir = tmp_path / "telemetry"
     code = main(

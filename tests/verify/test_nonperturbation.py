@@ -1,0 +1,20 @@
+"""The validator must be a pure observer: attaching it changes nothing.
+
+Every mode runs the differential problem twice — bare and validated —
+and the schedules must match exactly: same per-step times, same per-rank
+counters, bit-identical fields.  This is the acceptance gate that lets
+the validator default to off without ever being suspected of masking or
+causing a schedule difference.
+"""
+
+import pytest
+
+from repro.verify import check_nonperturbation
+
+
+@pytest.mark.parametrize("mode", ["mpe_only", "sync", "async"])
+def test_validated_run_is_bit_identical(mode):
+    gate = check_nonperturbation(
+        mode, nsteps=2, extent=(8, 8, 8), layout=(2, 2, 1), num_ranks=2
+    )
+    assert gate == {"mode": mode, "identical": True}
